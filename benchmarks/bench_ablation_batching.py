@@ -1,0 +1,45 @@
+"""Ablation — batching factor sweep (§6.2's unbatched/batched contrast)."""
+
+from repro.experiments.protocol_common import measure_point
+
+MILLISECOND = 1_000_000
+
+
+def test_batching_amortizes_ordering_costs(once):
+    def run():
+        results = {}
+        for batch in (1, 4, 16):
+            point = measure_point(
+                "hybster-x", batch_size=batch, rotation=False,
+                num_clients=300, client_window=16, measure_ns=40 * MILLISECOND,
+            )
+            results[batch] = point.throughput_ops
+        return results
+
+    by_batch = once(run)
+    # throughput grows monotonically with the batch size under saturation
+    assert by_batch[4] > by_batch[1]
+    assert by_batch[16] >= by_batch[4] * 0.95
+    # the paper's unbatched/batched contrast is a multiple, not a few percent
+    assert by_batch[16] / by_batch[1] > 1.5
+
+
+def test_batching_reduces_certificates_per_request(once):
+    def run():
+        unbatched = measure_point(
+            "hybster-x", batch_size=1, rotation=False,
+            num_clients=200, client_window=8, measure_ns=30 * MILLISECOND,
+        )
+        batched = measure_point(
+            "hybster-x", batch_size=16, rotation=False,
+            num_clients=200, client_window=8, measure_ns=30 * MILLISECOND,
+        )
+
+        def calls_per_request(point):
+            calls = sum(stats["enclave_calls"] for stats in point.replica_stats)
+            return calls / max(1, point.completed)
+
+        return calls_per_request(unbatched), calls_per_request(batched)
+
+    unbatched_calls, batched_calls = once(run)
+    assert batched_calls < unbatched_calls / 2

@@ -1,0 +1,44 @@
+"""Ablation — HybsterS vs MinBFT (§6, "Subjects").
+
+The paper argues HybsterS always reaches at least MinBFT's performance:
+MinBFT must funnel *all* incoming messages through one in-order thread
+(its single USIG counter timeline), while HybsterS separates ordering,
+execution, and client handling.  MinBFT's published best: 63 kops/s.
+"""
+
+from repro.experiments.protocol_common import measure_point
+
+MILLISECOND = 1_000_000
+
+
+def test_hybster_s_at_least_matches_minbft(once):
+    def run():
+        hybster_s = measure_point(
+            "hybster-s", batch_size=16, rotation=False,
+            num_clients=400, client_window=8, measure_ns=40 * MILLISECOND,
+        )
+        minbft = measure_point(
+            "minbft", batch_size=16, rotation=False,
+            num_clients=400, client_window=8, measure_ns=40 * MILLISECOND,
+        )
+        return hybster_s.throughput_ops, minbft.throughput_ops
+
+    hybster_s_tp, minbft_tp = once(run)
+    assert hybster_s_tp >= 0.95 * minbft_tp
+
+
+def test_minbft_single_thread_is_the_bottleneck(once):
+    def run():
+        one_core = measure_point(
+            "minbft", cores=1, batch_size=16, rotation=False,
+            num_clients=200, client_window=8, measure_ns=40 * MILLISECOND,
+        )
+        four_cores = measure_point(
+            "minbft", cores=4, batch_size=16, rotation=False,
+            num_clients=200, client_window=8, measure_ns=40 * MILLISECOND,
+        )
+        return one_core.throughput_ops, four_cores.throughput_ops
+
+    one_tp, four_tp = once(run)
+    # extra cores buy MinBFT essentially nothing
+    assert four_tp < 1.5 * max(one_tp, 1.0)

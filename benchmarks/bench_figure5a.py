@@ -1,0 +1,35 @@
+"""Figure 5a — trusted-subsystem certification throughput vs cores."""
+
+from repro.experiments import figure5a
+
+
+def test_figure5a_shapes(once):
+    result = once(figure5a.run, "quick")
+
+    trinx = result.series_by_label("TrInX (native)")
+    jni = result.series_by_label("TrInX (JNI)")
+    multi = result.series_by_label("Multi-TrInX")
+    tcrypto = result.series_by_label("TCrypto")
+    openssl = result.series_by_label("OpenSSL")
+    java = result.series_by_label("Java")
+    cash = result.series_by_label("CASH")
+
+    # TrInX reaches ~1.3M certs/s on four cores and scales by multiplication
+    assert 1_000_000 < trinx.value_at(4) < 1_500_000
+    assert trinx.value_at(4) > 3.5 * trinx.value_at(1)
+
+    # the JNI crossing costs a little, but not much
+    assert 0.85 < jni.value_at(4) / trinx.value_at(4) < 1.0
+
+    # Multi-TrInX performs comparably up to 3 cores, falls back at 4
+    assert multi.value_at(3) == trinx.value_at(3)
+    assert multi.value_at(4) < 0.9 * trinx.value_at(4)
+
+    # insecure libraries scale linearly; OpenSSL > Java > TCrypto at 32B
+    for series in (tcrypto, openssl, java):
+        assert series.value_at(4) > 3.8 * series.value_at(1)
+    assert openssl.value_at(4) > java.value_at(4) > tcrypto.value_at(4)
+
+    # CASH's single channel does not scale with cores
+    assert cash.value_at(4) < 1.5 * cash.value_at(1)
+    assert cash.value_at(4) < 30_000

@@ -1,0 +1,22 @@
+"""Figure 5b — throughput, 0 bytes, unbatched, rotating leader."""
+
+from repro.experiments import figure5b
+
+
+def test_figure5b_shapes(once):
+    result = once(figure5b.run, "quick")
+
+    hybster_x = result.series_by_label("HybsterX").value_at(4)
+    hybster_s = result.series_by_label("HybsterS").value_at(4)
+    hybrid_pbft = result.series_by_label("HybridPBFT").value_at(4)
+    pbft = result.series_by_label("PBFTcop").value_at(4)
+
+    # paper ordering at 4 cores: HybsterX > PBFTcop > HybridPBFT > HybsterS
+    assert hybster_x > pbft > hybrid_pbft > hybster_s
+
+    # HybridPBFT is ~30% slower than PBFTcop when every request is its own
+    # instance (lots of small messages, each paying the enclave entry)
+    assert 0.5 < hybrid_pbft / pbft < 0.95
+
+    # the parallel protocol clearly outruns the sequential basic protocol
+    assert hybster_x / hybster_s > 2.0

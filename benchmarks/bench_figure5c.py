@@ -1,0 +1,25 @@
+"""Figure 5c — throughput, 0 bytes, batched, rotating leader."""
+
+from repro.experiments import figure5c
+
+
+def test_figure5c_shapes(once):
+    result = once(figure5c.run, "quick")
+
+    hybster_x = result.series_by_label("HybsterX").value_at(4)
+    hybster_s = result.series_by_label("HybsterS").value_at(4)
+    hybrid_pbft = result.series_by_label("HybridPBFT").value_at(4)
+    pbft = result.series_by_label("PBFTcop").value_at(4)
+
+    # batching amortizes ordering costs: everyone gains substantially
+    assert hybster_x > 400  # kops/s
+    assert hybster_s > 200
+
+    # HybsterX stays on top; HybridPBFT catches up with PBFTcop
+    assert hybster_x >= pbft
+    assert hybster_x > hybster_s
+    assert 0.9 < hybrid_pbft / pbft < 1.2
+
+    # the paper's headline: batched HybsterX beats the sequential protocol
+    # clearly (2.5-4x speedup region)
+    assert hybster_x / hybster_s > 1.2

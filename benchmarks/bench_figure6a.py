@@ -1,0 +1,30 @@
+"""Figure 6a — latency vs throughput, 0-byte payloads, fixed leader."""
+
+from repro.experiments import figure6a
+
+
+def test_figure6a_shapes(once):
+    result = once(figure6a.run, "quick")
+
+    low_load = 0.05
+    x_lat = result.series_by_label("HybsterX ms").value_at(low_load)
+    s_lat = result.series_by_label("HybsterS ms").value_at(low_load)
+    pbft_lat = result.series_by_label("PBFTcop ms").value_at(low_load)
+    hybrid_lat = result.series_by_label("HybridPBFT ms").value_at(low_load)
+
+    # all configurations answer in well under 2 ms at low load (paper: 0.5-0.6)
+    for latency in (x_lat, s_lat, pbft_lat, hybrid_lat):
+        assert latency < 2.0
+
+    # HybsterX's two-phase ordering needs one message delay less end-to-end
+    # (four vs five): visibly lower latency than the PBFT variants
+    assert x_lat < pbft_lat
+    assert x_lat < hybrid_lat
+
+    # saturation order at full load: HybsterX highest, HybsterS lowest
+    full_load = 1.0
+    x_tp = result.series_by_label("HybsterX").value_at(full_load)
+    s_tp = result.series_by_label("HybsterS").value_at(full_load)
+    pbft_tp = result.series_by_label("PBFTcop").value_at(full_load)
+    assert x_tp > pbft_tp
+    assert x_tp > 1.2 * s_tp

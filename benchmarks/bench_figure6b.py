@@ -1,0 +1,37 @@
+"""Figure 6b — latency vs throughput, 1-KiB payloads, fixed leader."""
+
+from repro.experiments import figure6a, figure6b
+
+
+def test_figure6b_shapes(once):
+    result = once(figure6b.run, "quick")
+
+    low_load, full_load = 0.05, 1.0
+
+    # HybsterX keeps its latency advantage with payloads
+    x_lat = result.series_by_label("HybsterX ms").value_at(low_load)
+    pbft_lat = result.series_by_label("PBFTcop ms").value_at(low_load)
+    assert x_lat < pbft_lat
+
+    # saturation order preserved: HybsterX > PBFTcop > HybsterS
+    x_tp = result.series_by_label("HybsterX").value_at(full_load)
+    s_tp = result.series_by_label("HybsterS").value_at(full_load)
+    pbft_tp = result.series_by_label("PBFTcop").value_at(full_load)
+    assert x_tp > pbft_tp
+    assert x_tp > s_tp
+
+
+def test_payloads_lower_throughput(once):
+    """Paper: the 1 KiB numbers are lower but comparable to the 0 B ones."""
+
+    def run():
+        zero = figure6a.run("quick")
+        kilo = figure6b.run("quick")
+        return (
+            zero.series_by_label("HybsterX").value_at(1.0),
+            kilo.series_by_label("HybsterX").value_at(1.0),
+        )
+
+    zero_tp, kilo_tp = once(run)
+    assert kilo_tp < zero_tp
+    assert kilo_tp > 0.05 * zero_tp

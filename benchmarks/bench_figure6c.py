@@ -1,0 +1,25 @@
+"""Figure 6c — coordination service throughput vs read rate."""
+
+from repro.experiments import figure6c
+
+
+def test_figure6c_shapes(once):
+    result = once(figure6c.run, "quick")
+
+    hybster_x = result.series_by_label("HybsterX")
+    hybster_s = result.series_by_label("HybsterS")
+    hybrid_pbft = result.series_by_label("HybridPBFT")
+    pbft = result.series_by_label("PBFTcop")
+
+    for read_rate in (0.0, 0.5, 1.0):
+        x = hybster_x.value_at(read_rate)
+        # paper: HybsterX above HybridPBFT, further above PBFTcop, and a
+        # multiple of its own sequential basic protocol
+        assert x >= 0.95 * hybrid_pbft.value_at(read_rate)
+        assert x > pbft.value_at(read_rate) * 0.95
+        assert x > 1.2 * hybster_s.value_at(read_rate)
+
+    # strong consistency: no read optimization, so the curve is roughly
+    # flat in the read fraction (within a factor of two across the sweep)
+    ys = hybster_x.y_values()
+    assert max(ys) / max(min(ys), 1e-9) < 2.0

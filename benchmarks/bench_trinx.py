@@ -1,0 +1,13 @@
+"""§6.1 headline: single TrInX instance vs the FPGA-based CASH."""
+
+from repro.experiments import trinx_micro
+
+
+def test_trinx_single_instance_vs_cash(once):
+    result = once(trinx_micro.run, "quick")
+    trinx_rate = result.series_by_label("measured").value_at("TrInX")
+    cash_rate = result.series_by_label("measured").value_at("CASH")
+    # paper: 240,000 vs 17,500 certifications/s
+    assert 200_000 < trinx_rate < 280_000
+    assert 15_000 < cash_rate < 25_000
+    assert trinx_rate / cash_rate > 10

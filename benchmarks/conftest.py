@@ -1,0 +1,23 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper at ``quick``
+scale (seconds to a few minutes of wall time each) and asserts the
+*shape* the paper reports — who wins, by roughly what factor, where the
+crossovers fall.  Absolute numbers live in EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once (simulations are deterministic)."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""The paper's Figure 3, step by step, at the certificate level.
+
+Three replicas R0, R1, R2 — R1 faulty.  The walkthrough reproduces the
+paper's running example: request *b* commits at (view 0, order 51) on
+{R0, R1} while R2 is disconnected; R1 then tries to conceal *b* through
+the view change, and every mechanism of §5.2.3 (continuing certificates,
+view-change certificates, new-view acknowledgments) plays its part until
+R2 executes *b* at order 51 in view 2.
+
+Each replica acts only through its genuine TrInX instance — the trusted
+counters mechanically limit what the faulty R1 can produce.
+
+Run with::
+
+    python examples/figure3_walkthrough.py
+"""
+
+from dataclasses import replace
+
+from repro.core.config import ReplicaGroupConfig
+from repro.core.seqnum import flatten, unflatten
+from repro.errors import CounterRegressionError
+from repro.messages.client import Request
+from repro.messages.ordering import Commit, Prepare
+from repro.messages.viewchange import ViewChange
+from repro.trinx.enclave import EnclavePlatform
+from repro.trinx.trinx import TrInX
+
+CONFIG = ReplicaGroupConfig(
+    replica_ids=("R0", "R1", "R2"), checkpoint_interval=50, window_size=100
+)
+O = 0  # the ordering counter
+
+
+def show_counter(name, trinx):
+    view, order = unflatten(trinx.current_value(O))
+    print(f"      {name} counter O = [{view}|{order}]")
+
+
+def certify_prepare(trinx, view, order, payload, leader):
+    bare = Prepare(view, order, (Request("client", order, payload),), leader)
+    cert = trinx.create_independent(O, flatten(view, order), bare.digestible())
+    return replace(bare, certificate=cert)
+
+
+def certify_commit(trinx, prepare, replica):
+    bare = Commit(prepare.view, prepare.order, replica, b"digest-of-" + str(prepare.order).encode())
+    trinx.create_independent(O, flatten(prepare.view, prepare.order), bare.digestible())
+    return bare
+
+
+def certify_view_change(trinx, replica, v_from, v_to, prepares):
+    bare = ViewChange(replica, v_from, v_to, 50, (), tuple(prepares))
+    cert = trinx.create_continuing(O, flatten(v_to, 0), bare.digestible())
+    return replace(bare, certificate=cert)
+
+
+def main():
+    platform = EnclavePlatform()
+    r0 = TrInX(platform, CONFIG.trinx_instance_id("R0", 0), CONFIG.group_secret)
+    r1 = TrInX(platform, CONFIG.trinx_instance_id("R1", 0), CONFIG.group_secret)
+    r2 = TrInX(platform, CONFIG.trinx_instance_id("R2", 0), CONFIG.group_secret)
+
+    print("Step 1-2: view 0, leader R0; instances up to order 50 are")
+    print("committed and checkpointed (counters fast-forwarded to [0|50]).")
+    for name, trinx in (("R0", r0), ("R1", r1), ("R2", r2)):
+        trinx.create_independent(O, flatten(0, 50), f"{name} history up to 50")
+        show_counter(name, trinx)
+
+    print("\nStep 3: client request b; R0 proposes it at (0, 51); R1 commits.")
+    print("R2 is disconnected and sees nothing.")
+    prepare_b = certify_prepare(r0, 0, 51, "request b", "R0")
+    certify_commit(r1, prepare_b, "R1")
+    print("   -> committed certificate {R0, R1}: b is EXECUTED at 51 on R0, R1")
+    show_counter("R1", r1)
+
+    print("\nStep 4: R2 suspects R0 and sends VIEW-CHANGE 0 -> 1, certified")
+    print("tau(R2, O, [1|0], [0|50]): previous value = its checkpoint, no")
+    print("PREPAREs needed.")
+    vc_r2 = certify_view_change(r2, "R2", 0, 1, [])
+    print(f"      R2's certificate reveals previous value "
+          f"{unflatten(vc_r2.certificate.previous_value)}")
+
+    print("\nR1 turns faulty and wants to conceal b.  Its counter stands at")
+    print("[0|51], so any VIEW-CHANGE it certifies reveals participation in")
+    print("order 51 — omitting the PREPARE would be detected:")
+    vc_r1_concealing = ViewChange("R1", 0, 1, 50, (), ())
+    cert = r1.create_continuing(O, flatten(1, 0), vc_r1_concealing.digestible())
+    pv, po = unflatten(cert.previous_value)
+    print(f"      R1's forced previous value: [{pv}|{po}] -> receivers demand")
+    print(f"      PREPAREs for every order in (50, {po}] — concealment fails.")
+
+    print("\nStep 5: so R1 merely *generates* a NEW-VIEW for view 1 (keeping")
+    print("it to itself), which re-proposes b and lifts its counter to [1|51]:")
+    reproposal_b = Prepare(1, 51, prepare_b.batch, "R1", reproposal=True)
+    r1.create_independent(O, flatten(1, 51), reproposal_b.digestible())
+    show_counter("R1", r1)
+    print("   R1 then 'cleans' its counter by burning a certificate for [2|0]")
+    print("   that it never shows anyone, and sends VIEW-CHANGE 0 -> 3:")
+    r1.create_continuing(O, flatten(2, 0), "burned in the dark")
+    vc_r1_clean = certify_view_change(r1, "R1", 0, 3, [])
+    pv, po = unflatten(vc_r1_clean.certificate.previous_value)
+    print(f"      valid certificate with previous value [{pv}|{po}] — no")
+    print("      PREPAREs required: the cleaning is legal but harmless,")
+    print("      because R2 will not act on a view-3 VIEW-CHANGE before")
+    print("      holding a view-change certificate for view 2.")
+
+    print("\nStep 6: R0 aborts view 0 too.  Its counter [0|51] forces its")
+    print("VIEW-CHANGE to include the PREPARE for b — R2 learns b:")
+    vc_r0 = certify_view_change(r0, "R0", 0, 1, [prepare_b])
+    assert r2.verify(vc_r0.certificate, vc_r0.digestible())
+    print(f"      VIEW-CHANGE(R0, 0->1) carries {len(vc_r0.prepares)} PREPARE "
+          f"(order {vc_r0.prepares[0].order}) — verified by R2's TrInX")
+    print("   R2 now holds a view-change certificate for view 1 (R0 + R2).")
+
+    print("\nSteps 7-9: R2 becomes the designated leader of view 2.  Its")
+    print("new-view certificate needs q=2 VIEW-CHANGEs plus f+1 = 2 witnesses")
+    print("of the base view.  R1's late NEW-VIEW for view 1 makes R0 'accept'")
+    print("view 1 after aborting it, so R0 supplies a NEW-VIEW-ACK for view 1")
+    print("carrying the re-proposal of b — completing the evidence.")
+
+    print("\nStep 10: R2's NEW-VIEW for view 2 re-proposes b at order 51:")
+    final_b = Prepare(2, 51, prepare_b.batch, "R2", reproposal=True)
+    cert = r2.create_independent(O, flatten(2, 51), final_b.digestible())
+    final_b = replace(final_b, certificate=cert)
+    assert r0.verify(final_b.certificate, final_b.digestible())
+    print("      R0 verifies and acknowledges; b executes at order 51 in")
+    print("      view 2 on every correct replica.  Safety held throughout.")
+
+    print("\nEpilogue: R1 can never again interfere with view 0 — its counter")
+    print("is beyond [2|0], so certifying any view-0 order message fails:")
+    try:
+        r1.create_independent(O, flatten(0, 52), "late mischief")
+    except CounterRegressionError as error:
+        print(f"      {error}")
+
+
+if __name__ == "__main__":
+    main()

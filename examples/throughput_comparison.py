@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Mini evaluation: compare all protocol configurations on your machine.
+
+A scaled-down rendition of the paper's Figure 5 experiments — one
+saturation point per protocol, batched and unbatched — using the same
+deployment harness the full benchmarks use.
+
+Run with::
+
+    python examples/throughput_comparison.py
+"""
+
+import time
+
+from repro.experiments.protocol_common import PROTOCOL_LABELS, measure_point
+
+MS = 1_000_000
+
+
+def main():
+    print(f"{'configuration':>14} {'batch':>6} {'kops/s':>10} {'latency':>10} {'CPU':>6}")
+    for batch in (1, 16):
+        for protocol in ("hybster-s", "hybster-x", "pbft", "hybrid-pbft", "minbft"):
+            started = time.time()
+            point = measure_point(
+                protocol,
+                batch_size=batch,
+                rotation=(protocol not in ("minbft",)),
+                measure_ns=30 * MS,
+                load_factor=0.4,
+            )
+            print(
+                f"{PROTOCOL_LABELS[protocol]:>14} {batch:>6} "
+                f"{point.throughput_ops / 1e3:>10.1f} {point.latency_ms:>8.2f}ms "
+                f"{point.replica_cpu_utilization * 100:>5.0f}%"
+                f"   ({time.time() - started:.0f}s wall)"
+            )
+        print()
+    print("expected shape: HybsterX on top, the sequential protocols")
+    print("(HybsterS, MinBFT) at the bottom, batching helping everyone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — a reproduction of "Hybrids on Steroids: SGX-Based High
+Performance BFT" (Behl, Distler, Kapitza; EuroSys 2017).
+
+The package implements the Hybster replication protocol, its TrInX
+trusted counter subsystem, the paper's baselines, and the complete
+evaluation harness, all running on a deterministic discrete-event
+simulation of the paper's testbed.  Start with:
+
+* :mod:`repro.core` — the Hybster protocol (HybsterS/HybsterX),
+* :mod:`repro.trinx` — the trusted subsystem,
+* :mod:`repro.runtime` — one-call benchmark deployments,
+* :mod:`repro.experiments` — regenerate any figure of the paper.
+
+See README.md for a quickstart and DESIGN.md for the architecture.
+"""
+
+__version__ = "0.1.0"
+
+from repro.core.config import ReplicaGroupConfig
+from repro.core.replica import HybsterReplica, build_group
+from repro.trinx.trinx import TrInX
+from repro.trinx.enclave import EnclavePlatform
+
+__all__ = [
+    "__version__",
+    "ReplicaGroupConfig",
+    "HybsterReplica",
+    "build_group",
+    "TrInX",
+    "EnclavePlatform",
+]

@@ -1,0 +1,27 @@
+"""Comparison systems evaluated against Hybster in the paper.
+
+* :mod:`repro.baselines.pbft` — PBFT realized with the consensus-oriented
+  parallelization scheme (``PBFTcop``), certifying messages either with
+  classic MAC authenticators or, as ``HybridPBFT``, with signature-like
+  trusted MACs from TrInX (§6, "Subjects").
+* :mod:`repro.baselines.minbft` / :mod:`repro.baselines.usig` — MinBFT
+  with its USIG trusted subsystem: the sequential two-phase hybrid
+  protocol Hybster's analysis (§4) builds on; used for ablations.
+* :mod:`repro.baselines.cash` — the FPGA-based CASH subsystem's cost
+  model (57 µs per certification, a single channel), the state of the
+  art TrInX is compared against in §6.1.
+"""
+
+from repro.baselines.cash import CashSubsystem
+from repro.baselines.pbft import PbftReplica, build_pbft_group
+from repro.baselines.minbft import MinBftReplica, build_minbft_group
+from repro.baselines.usig import Usig
+
+__all__ = [
+    "CashSubsystem",
+    "PbftReplica",
+    "build_pbft_group",
+    "MinBftReplica",
+    "build_minbft_group",
+    "Usig",
+]

@@ -1,0 +1,103 @@
+"""PBFT ordering and checkpoint messages.
+
+PBFT's three-phase ordering uses PRE-PREPARE (the leader's proposal),
+PREPARE (first acknowledgment round), and COMMIT (second round).  Each
+message carries either a MAC authenticator (``PBFTcop``) or a trusted
+MAC certificate (``HybridPBFT``); the field is typed loosely so both fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.messages.base import MESSAGE_HEADER_SIZE, ProtocolMessage, certificate_size
+from repro.messages.client import Request
+
+
+@dataclass(frozen=True)
+class PrePrepare(ProtocolMessage):
+    """The leader's assignment of ``batch`` to ``(view, order)``."""
+
+    view: int
+    order: int
+    batch: tuple[Request, ...]
+    leader: str
+    auth: Any = None
+
+    def digestible(self):
+        return (
+            "pbft-pre-prepare",
+            self.view,
+            self.order,
+            self.leader,
+            tuple(request.digestible() for request in self.batch),
+        )
+
+    def proposal_digestible(self):
+        return ("pbft-proposal", self.view, self.order, tuple(r.digestible() for r in self.batch))
+
+    def wire_size(self) -> int:
+        return (
+            MESSAGE_HEADER_SIZE
+            + 16
+            + sum(request.wire_size() for request in self.batch)
+            + certificate_size(self.auth)
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        return len(self.batch) == 0
+
+
+@dataclass(frozen=True)
+class PbftPrepare(ProtocolMessage):
+    """First-round acknowledgment of a PRE-PREPARE (not sent by the leader)."""
+
+    view: int
+    order: int
+    replica: str
+    proposal_digest: bytes
+    auth: Any = None
+
+    def digestible(self):
+        return ("pbft-prepare", self.view, self.order, self.replica, self.proposal_digest)
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + 16 + 32 + certificate_size(self.auth)
+
+
+@dataclass(frozen=True)
+class PbftCommit(ProtocolMessage):
+    """Second-round acknowledgment; a quorum makes the instance committed."""
+
+    view: int
+    order: int
+    replica: str
+    proposal_digest: bytes
+    auth: Any = None
+
+    def digestible(self):
+        return ("pbft-commit", self.view, self.order, self.replica, self.proposal_digest)
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + 16 + 32 + certificate_size(self.auth)
+
+
+@dataclass(frozen=True)
+class PbftCheckpoint(ProtocolMessage):
+    """Checkpoint announcement; a quorum of matching digests is stable."""
+
+    order: int
+    replica: str
+    state_digest: bytes
+    auth: Any = None
+
+    def digestible(self):
+        return ("pbft-checkpoint", self.order, self.replica, self.state_digest)
+
+    def agreement_key(self) -> tuple[int, bytes]:
+        return (self.order, self.state_digest)
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + 8 + 32 + certificate_size(self.auth)

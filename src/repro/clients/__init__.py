@@ -1,0 +1,25 @@
+"""Client-side workload generation and measurement.
+
+Clients follow the paper's benchmark methodology (§6): a configured
+number of clients constantly keeps a bounded number of asynchronous
+requests in flight, accepts a result once f+1 replies from distinct
+replicas match, and measures average latency and aggregate throughput.
+"""
+
+from repro.clients.client import Client
+from repro.clients.stats import LatencyStats
+from repro.clients.workload import (
+    CoordinationWorkload,
+    KeyValueWorkload,
+    NullWorkload,
+    Workload,
+)
+
+__all__ = [
+    "Client",
+    "LatencyStats",
+    "Workload",
+    "NullWorkload",
+    "KeyValueWorkload",
+    "CoordinationWorkload",
+]

@@ -1,0 +1,69 @@
+"""Latency statistics with bounded memory.
+
+Benchmarks complete millions of requests, so raw latency lists are out;
+we keep exact count/sum/min/max and a fixed-size reservoir sample for
+percentiles (statistically sound for the smooth distributions the
+simulation produces).
+"""
+
+from __future__ import annotations
+
+from repro.sim.rand import DeterministicRandom
+
+
+class LatencyStats:
+    """Streaming latency aggregator (nanosecond samples)."""
+
+    def __init__(self, reservoir_size: int = 4096, seed: int = 42):
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns: int | None = None
+        self.max_ns: int | None = None
+        self._reservoir: list[int] = []
+        self._reservoir_size = reservoir_size
+        self._rng = DeterministicRandom(seed)
+
+    def record(self, latency_ns: int) -> None:
+        self.count += 1
+        self.total_ns += latency_ns
+        if self.min_ns is None or latency_ns < self.min_ns:
+            self.min_ns = latency_ns
+        if self.max_ns is None or latency_ns > self.max_ns:
+            self.max_ns = latency_ns
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(latency_ns)
+        else:
+            slot = self._rng.randint(0, self.count - 1)
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = latency_ns
+
+    def merge(self, other: "LatencyStats") -> None:
+        self.count += other.count
+        self.total_ns += other.total_ns
+        if other.min_ns is not None and (self.min_ns is None or other.min_ns < self.min_ns):
+            self.min_ns = other.min_ns
+        if other.max_ns is not None and (self.max_ns is None or other.max_ns > self.max_ns):
+            self.max_ns = other.max_ns
+        for sample in other._reservoir:
+            if len(self._reservoir) < self._reservoir_size:
+                self._reservoir.append(sample)
+            else:
+                slot = self._rng.randint(0, max(self.count - 1, 1))
+                if slot < self._reservoir_size:
+                    self._reservoir[slot] = sample
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_ns / 1e6
+
+    def percentile_ns(self, p: float) -> float:
+        """Approximate percentile (0 < p < 100) from the reservoir."""
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(round((p / 100.0) * (len(ordered) - 1))))
+        return float(ordered[index])

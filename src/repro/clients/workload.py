@@ -1,0 +1,103 @@
+"""Workload definitions: what operations clients issue.
+
+A :class:`Workload` yields ``(operation, payload_size)`` pairs.  The
+three workloads match the paper's benchmarks:
+
+* :class:`NullWorkload` — empty operations with a configurable payload
+  (the §6.2/§6.3 microbenchmark with 0 B / 128 B / 1 KiB / 4 KiB).
+* :class:`CoordinationWorkload` — the §6.4 coordination-service mix:
+  clients store and retrieve 128-byte nodes under a private subtree,
+  with a configurable read fraction.
+* :class:`KeyValueWorkload` — puts/gets against the KV store, used by
+  the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.rand import DeterministicRandom
+
+
+class Workload:
+    """Produces the operation stream of one client."""
+
+    def next_operation(self, request_index: int) -> tuple[Any, int]:
+        """Return (service operation, request payload size in bytes)."""
+        raise NotImplementedError
+
+    def setup_operations(self) -> list[tuple[Any, int]]:
+        """Operations issued once before the measurement starts."""
+        return []
+
+
+class NullWorkload(Workload):
+    """No-op requests with a fixed payload size."""
+
+    def __init__(self, payload_size: int = 0):
+        self.payload_size = payload_size
+
+    def next_operation(self, request_index: int) -> tuple[Any, int]:
+        return None, self.payload_size
+
+
+class KeyValueWorkload(Workload):
+    """Alternating put/get over a small keyspace."""
+
+    def __init__(self, client_id: str, keys: int = 16, payload_size: int = 0, seed: int = 0):
+        self.client_id = client_id
+        self.keys = keys
+        self.payload_size = payload_size
+        self._rng = DeterministicRandom(seed)
+
+    def next_operation(self, request_index: int) -> tuple[Any, int]:
+        key = f"{self.client_id}/k{self._rng.randint(0, self.keys - 1)}"
+        if self._rng.random() < 0.5:
+            return ("put", key, request_index), self.payload_size
+        return ("get", key), self.payload_size
+
+
+class CoordinationWorkload(Workload):
+    """ZooKeeper-style node store/retrieve mix (paper §6.4).
+
+    Each client works under its own subtree (``/c<id>``), pre-creating
+    ``nodes`` children, then issues ``set`` (write) and ``get`` (read)
+    operations on random children according to ``read_fraction``.
+    Writes carry the node payload in the request; reads return it in the
+    reply — exactly the asymmetry that §6.4 exploits when varying the
+    read rate.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        read_fraction: float,
+        node_size: int = 128,
+        nodes: int = 8,
+        seed: int = 0,
+    ):
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError(f"read fraction must be in [0, 1], got {read_fraction}")
+        self.client_id = client_id
+        self.read_fraction = read_fraction
+        self.node_size = node_size
+        self.nodes = nodes
+        self._rng = DeterministicRandom(seed)
+        self._root = f"/{client_id.replace('/', '_')}"
+
+    def setup_operations(self) -> list[tuple[Any, int]]:
+        operations = [(("create", self._root, 0), 0)]
+        for i in range(self.nodes):
+            operations.append((("create", f"{self._root}/n{i}", self.node_size), self.node_size))
+        return operations
+
+    def next_operation(self, request_index: int) -> tuple[Any, int]:
+        node = f"{self._root}/n{self._rng.randint(0, self.nodes - 1)}"
+        if self._rng.random() < self.read_fraction:
+            # reads: small request, large reply (the service reports the size)
+            return ("get", node), 0
+        return ("set", node, self.node_size), self.node_size
+
+    def reply_payload_size(self) -> int:
+        """Average reply payload: reads return node data, writes an ack."""
+        return int(self.read_fraction * self.node_size)

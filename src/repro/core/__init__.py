@@ -1,0 +1,25 @@
+"""Hybster — the paper's primary contribution.
+
+The protocol is implemented once and instantiated in two configurations:
+
+* **HybsterS** — the sequential basic protocol (§5.2): one ordering pillar
+  per replica with a single TrInX instance.
+* **HybsterX** — the parallelized protocol (§5.3): one pillar per core,
+  each with its own TrInX instance, independent ordering over a statically
+  partitioned order-number space, shared checkpointing, and distributed
+  (split) view-change messages.
+
+Module map: :mod:`config` (group configuration and fault-model math),
+:mod:`seqnum` (the flattened ``[view|order]`` number space),
+:mod:`quorum` (matching-message quorum collectors), :mod:`log` (the
+ordering window), :mod:`pillar` (ordering + checkpointing + view-change
+per processing unit), :mod:`execution` (the execution stage),
+:mod:`viewchange` (combined-message view-change state machine),
+:mod:`replica` (assembles stages into a replica).
+"""
+
+from repro.core.config import ReplicaGroupConfig
+from repro.core.replica import HybsterReplica
+from repro.core.seqnum import flatten, unflatten
+
+__all__ = ["ReplicaGroupConfig", "HybsterReplica", "flatten", "unflatten"]

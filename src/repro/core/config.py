@@ -1,0 +1,216 @@
+"""Replica-group configuration and hybrid fault-model arithmetic.
+
+Hybster tolerates ``f = floor((n-1)/2)`` faults among ``n`` replicas with
+quorums of ``q = ceil((n+1)/2)`` — the conditions ``2q > n`` (two quorums
+always intersect) and ``n >= q + f`` (correct replicas alone can form a
+quorum) then hold, and every quorum contains at least one correct replica
+(``q > f``).  The canonical deployment is ``n = 3``, ``f = 1``, ``q = 2``.
+
+The configuration also fixes everything the paper assumes is provisioned
+out of band by the trusted administrator: the group secret shared by all
+TrInX instances, the number of pillars per replica (identical across the
+group, so receivers know how many parts a split view-change message has
+and which TrInX instance must certify which order number), and the
+protocol's tuning knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.core.seqnum import DEFAULT_ORDER_BITS
+
+# Trusted counter ids inside each TrInX instance (fixed-leader layout; with
+# a rotating leader the ordering uses one counter per proposer lane and the
+# trusted-MAC counter moves behind them — see ReplicaGroupConfig).
+COUNTER_O = 0  # ordering + view-change counter
+COUNTER_M = 1  # trusted-MAC counter for checkpoints
+
+MILLISECOND = 1_000_000
+
+
+@dataclass(frozen=True)
+class ReplicaGroupConfig:
+    """Static configuration shared by all replicas and clients of a group."""
+
+    replica_ids: tuple[str, ...]
+    group_secret: bytes = b"hybster-group-secret-0000000000!"
+    num_pillars: int = 1
+    order_bits: int = DEFAULT_ORDER_BITS
+    checkpoint_interval: int = 128
+    window_size: int = 256
+    batch_size: int = 1
+    rotation: bool = False
+    request_timeout_ns: int = 150 * MILLISECOND
+    viewchange_timeout_ns: int = 150 * MILLISECOND
+    retransmit_interval_ns: int = 60 * MILLISECOND
+    fill_gap_timeout_ns: int = 3 * MILLISECOND
+    # rotation mode: how long a proposer waits for client requests before
+    # releasing its slot with an empty (no-op) instance
+    noop_delay_ns: int = MILLISECOND // 2
+
+    def __post_init__(self) -> None:
+        if len(self.replica_ids) < 3:
+            raise ConfigurationError("hybrid BFT needs at least n = 3 replicas (2f+1, f >= 1)")
+        if len(set(self.replica_ids)) != len(self.replica_ids):
+            raise ConfigurationError("replica ids must be unique")
+        if self.num_pillars < 1:
+            raise ConfigurationError("at least one pillar per replica")
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint interval must be positive")
+        if self.window_size < 2 * self.checkpoint_interval:
+            raise ConfigurationError(
+                "window must cover at least two checkpoint intervals "
+                f"(window={self.window_size}, interval={self.checkpoint_interval})"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError("batch size must be positive")
+
+    # ------------------------------------------------------------------
+    # Fault-model arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.replica_ids)
+
+    @property
+    def f(self) -> int:
+        """Maximum number of tolerated faulty replicas."""
+        return (self.n - 1) // 2
+
+    @property
+    def quorum_size(self) -> int:
+        """Minimum quorum: ``q = ceil((n+1)/2)``."""
+        return (self.n + 2) // 2 if self.n % 2 == 0 else (self.n + 1) // 2
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+    def primary_of_view(self, view: int) -> str:
+        """The distinguished leader ``l = v mod n`` of a view."""
+        return self.replica_ids[view % self.n]
+
+    def proposer_of(self, view: int, order: int) -> str:
+        """Which replica proposes order number ``order`` in ``view``.
+
+        With a fixed leader this is the view's primary; with a rotating
+        leader the proposer role rotates over order numbers so every
+        replica shares the proposal load (the consensus-oriented
+        parallelization rotation scheme of §6.2).
+        """
+        if not self.rotation:
+            return self.primary_of_view(view)
+        # rotate per class step (order // P), not per order: this spreads the
+        # proposer role over *every* pillar of every replica even when the
+        # pillar count and the group size share a divisor
+        return self.replica_ids[(view + order // self.num_pillars) % self.n]
+
+    def pillar_of_order(self, order: int) -> int:
+        """Statically assigned pillar for an order number (COP partition)."""
+        return order % self.num_pillars
+
+    # ------------------------------------------------------------------
+    # Ordering lanes and trusted counters
+    # ------------------------------------------------------------------
+    # With a fixed leader every order number belongs to one *lane* (0) and
+    # each pillar certifies with a single ordering counter.  With a rotating
+    # leader the proposer role rotates over order numbers; binding them all
+    # to one counter would serialize the whole pillar class on network
+    # round-trips between proposers.  TrInX therefore dedicates one ordering
+    # counter per proposer lane (its interface supports multiple counters
+    # for exactly this kind of partitioning): monotonicity — and thus the
+    # strictly ascending processing order — applies per lane only.
+
+    @property
+    def num_lanes(self) -> int:
+        return self.n if self.rotation else 1
+
+    def lane_of(self, view: int, order: int) -> int:
+        """The lane of an order number = the index of its proposer."""
+        if not self.rotation:
+            return 0
+        return (view + order // self.num_pillars) % self.n
+
+    def ordering_counter(self, lane: int) -> int:
+        """Trusted counter id a pillar uses for orders of ``lane``."""
+        return lane
+
+    @property
+    def mac_counter(self) -> int:
+        """Trusted-MAC counter id (checkpoints), behind the ordering lanes."""
+        return self.num_lanes
+
+    @property
+    def counters_per_instance(self) -> int:
+        return self.num_lanes + 1
+
+    @property
+    def lane_stride(self) -> int:
+        """Distance between consecutive orders of one (pillar, lane) pair."""
+        return self.num_pillars * self.num_lanes
+
+    def proposing_pillars(self, replica_id: str, view: int) -> list[int]:
+        """Pillars on which ``replica_id`` proposes order numbers in ``view``.
+
+        With a fixed leader the primary proposes on every pillar (and the
+        followers on none); with rotation the proposer assignment cycles
+        with period lcm(P, n), which may concentrate a replica's slots on
+        a subset of pillars (e.g. exactly one when P == n).
+        """
+        pillars = []
+        for pillar in range(self.num_pillars):
+            order = pillar if pillar > 0 else self.num_pillars
+            for step in range(self.num_lanes):
+                candidate = pillar + step * self.num_pillars
+                if candidate == 0:
+                    candidate = self.num_pillars * self.num_lanes
+                if self.proposer_of(view, candidate) == replica_id:
+                    pillars.append(pillar)
+                    break
+        return pillars
+
+    def proposer_replica_for_client(self, client_id: str, view: int) -> str:
+        """Where a client's requests get proposed.
+
+        Fixed-leader mode: the view's primary.  Rotation mode: clients are
+        statically partitioned over replicas so no request is proposed
+        twice.
+        """
+        if not self.rotation:
+            return self.primary_of_view(view)
+        bucket = _stable_hash(client_id) % self.n
+        return self.replica_ids[bucket]
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def is_checkpoint_boundary(self, order: int) -> bool:
+        """Order numbers start at 1; checkpoints fall on interval multiples."""
+        return order % self.checkpoint_interval == 0
+
+    def checkpoint_number(self, order: int) -> int:
+        """Index of the checkpoint taken after executing ``order``."""
+        return order // self.checkpoint_interval
+
+    def checkpoint_pillar(self, order: int) -> int:
+        """Shared checkpointing: the k-th checkpoint is run by pillar k mod P."""
+        return self.checkpoint_number(order) % self.num_pillars
+
+    # ------------------------------------------------------------------
+    # Identities
+    # ------------------------------------------------------------------
+    def trinx_instance_id(self, replica_id: str, pillar: int) -> str:
+        """Public TrInX instance id of a replica's pillar (group knowledge)."""
+        return f"{replica_id}/tss{pillar}"
+
+    def index_of(self, replica_id: str) -> int:
+        return self.replica_ids.index(replica_id)
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic string hash (Python's builtin is salted per process)."""
+    value = 0
+    for char in text.encode("utf-8"):
+        value = (value * 131 + char) % 1_000_000_007
+    return value

@@ -1,0 +1,324 @@
+"""The execution stage (paper §5.3.1–§5.3.2, Figure 4).
+
+One execution stage per replica receives EXEC-REQUEST messages from the
+ordering pillars and ensures requests are delivered to the service
+implementation in exactly the order of their assigned order numbers,
+closing over gaps the parallel ordering may create.  It also:
+
+* answers clients with REPLY messages (one MAC per reply),
+* maintains the reply cache (last result per client) that checkpoint
+  digests must cover,
+* takes the state snapshot at every checkpoint boundary and hands the
+  digest to the pillar responsible for that checkpoint,
+* serves state-transfer requests from fallen-behind peers out of its
+  newest stable snapshot,
+* nudges the local proposer pillar via FILL-GAP when the global sequence
+  stalls on an order number this replica is responsible for.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.config import ReplicaGroupConfig
+from repro.crypto.provider import CryptoProvider
+from repro.messages.client import Reply, Request
+from repro.messages.internal import (
+    CkReached,
+    CkStable,
+    Executed,
+    ExecRequest,
+    FillGap,
+    NvStable,
+    ReplyJob,
+    ReReply,
+    StateInstall,
+    StateInstalled,
+)
+from repro.messages.statetransfer import StateRequest, StateResponse
+from repro.services.base import Service
+from repro.sim.process import Address, Endpoint, Stage
+from repro.sim.resources import SimThread
+
+EXEC_BASE_COST_NS = 250  # queueing/dispatch overhead per delivered instance
+
+
+class ExecutionStage(Stage):
+    """Delivers committed batches to the service in global order."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        thread: SimThread,
+        config: ReplicaGroupConfig,
+        replica_id: str,
+        service: Service,
+        crypto: CryptoProvider,
+        reply_payload_size: int = 0,
+        name: str = "exec",
+    ):
+        super().__init__(endpoint, thread, name)
+        self.config = config
+        self.replica_id = replica_id
+        self.service = service
+        self.crypto = crypto
+        self.reply_payload_size = reply_payload_size
+
+        self.next_order = 1  # the next order number to execute (orders start at 1)
+        self._buffer: dict[int, ExecRequest] = {}
+        self._reply_cache: dict[str, tuple[int, Any]] = {}
+        self.current_view = 0
+
+        # Newest stable checkpoint: (order, snapshot, reply_vector, cert).
+        self._stable_checkpoint: tuple[int, Any, tuple, tuple] = (0, service.snapshot(), (), ())
+        self._pending_snapshots: dict[int, tuple[Any, tuple]] = {}
+
+        self.executed_requests = 0
+        self.executed_instances = 0
+        self._gap_timer = None
+
+        # Wired by the replica builder.
+        self.pillar_addresses: list[Address] = []
+        self.handler_address: Address | None = None
+        self.coordinator_address: Address | None = None
+        self.replier_addresses: list[Address] = []  # reply egress threads
+        self._next_replier = 0
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: Address, message: Any) -> None:
+        if isinstance(message, ExecRequest):
+            self._on_exec_request(message)
+        elif isinstance(message, CkStable):
+            self._on_checkpoint_stable(message)
+        elif isinstance(message, NvStable):
+            self.current_view = message.v_to
+        elif isinstance(message, StateInstall):
+            self._on_state_install(message)
+        elif isinstance(message, StateRequest):
+            self._on_state_request(src, message)
+        elif isinstance(message, ReReply):
+            self._on_re_reply(message)
+
+    def _on_re_reply(self, message: ReReply) -> None:
+        """Answer a retransmitted request from the reply cache."""
+        cached = self._reply_cache.get(message.request.client_id)
+        if cached is None:
+            return
+        request_id, result = cached
+        if request_id == message.request.request_id:
+            self._send_reply(message.request, result, self.current_view)
+
+    # ------------------------------------------------------------------
+    # Ordered delivery
+    # ------------------------------------------------------------------
+    def _on_exec_request(self, message: ExecRequest) -> None:
+        if message.order < self.next_order:
+            return  # already executed (e.g. re-committed after a view change)
+        self._buffer[message.order] = message
+        self._drain()
+        self._manage_gap_timer()
+
+    def _drain(self) -> None:
+        while self.next_order in self._buffer:
+            message = self._buffer.pop(self.next_order)
+            self._execute(message)
+            self.next_order += 1
+            if self.config.is_checkpoint_boundary(message.order):
+                self._take_checkpoint(message.order)
+
+    def _execute(self, message: ExecRequest) -> None:
+        self.sim.charge(EXEC_BASE_COST_NS)
+        executed_keys = []
+        replies = []
+        for request in message.batch:
+            result = self.service.execute(request.operation, request.client_id)
+            self.sim.charge(self.service.execution_cost_ns(request.operation))
+            self._reply_cache[request.client_id] = (request.request_id, result)
+            executed_keys.append(request.key)
+            replies.append(self._build_reply(request, result, message.view))
+            self.executed_requests += 1
+        self.executed_instances += 1
+        if replies:
+            self._dispatch_replies(replies)
+        if executed_keys and self.handler_address is not None:
+            self.send(self.handler_address, Executed(tuple(executed_keys)))
+
+    def _build_reply(self, request: Request, result: Any, view: int) -> Reply:
+        return Reply(
+            replica_id=self.replica_id,
+            client_id=request.client_id,
+            request_id=request.request_id,
+            view=view,
+            result=result,
+            result_size=self.reply_payload_size
+            + self.service.reply_payload_size(request.operation, result),
+        )
+
+    def _dispatch_replies(self, replies: list[Reply]) -> None:
+        if self.replier_addresses:
+            # hand MACs + transmission to a client-handling thread
+            replier = self.replier_addresses[self._next_replier]
+            self._next_replier = (self._next_replier + 1) % len(self.replier_addresses)
+            self.send(replier, ReplyJob(tuple(replies)))
+            return
+        for reply in replies:
+            self.crypto.compute_mac(b"client-session", reply.digestible(), size_hint=32)
+            self.send(_client_address(reply.client_id), reply)
+
+    def _send_reply(self, request: Request, result: Any, view: int) -> None:
+        self._dispatch_replies([self._build_reply(request, result, view)])
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _take_checkpoint(self, order: int) -> None:
+        snapshot = self.service.snapshot()
+        reply_vector = tuple(
+            (client, request_id, _freeze(result))
+            for client, (request_id, result) in sorted(self._reply_cache.items())
+        )
+        digest = self.crypto.digest(
+            ("checkpoint-state", order, self.service.state_digestible(), reply_vector),
+            size_hint=max(64, self.service.snapshot_size()),
+        )
+        self._pending_snapshots[order] = (snapshot, reply_vector)
+        pillar = self.config.checkpoint_pillar(order)
+        self.send(self.pillar_addresses[pillar], CkReached(order, digest))
+
+    def _on_checkpoint_stable(self, message: CkStable) -> None:
+        snapshot_entry = self._pending_snapshots.pop(message.order, None)
+        if snapshot_entry is not None and message.order > self._stable_checkpoint[0]:
+            snapshot, reply_vector = snapshot_entry
+            self._stable_checkpoint = (message.order, snapshot, reply_vector, message.certificate)
+        for order in [o for o in self._pending_snapshots if o <= message.order]:
+            del self._pending_snapshots[order]
+
+    # ------------------------------------------------------------------
+    # State transfer
+    # ------------------------------------------------------------------
+    def _on_state_request(self, src: Address, message: StateRequest) -> None:
+        order, snapshot, reply_vector, certificate = self._stable_checkpoint
+        if order < message.min_order:
+            return  # nothing newer than what the requester already has
+        response = StateResponse(
+            replica=self.replica_id,
+            checkpoint_order=order,
+            checkpoint_certificate=certificate,
+            snapshot=(snapshot, reply_vector),
+            snapshot_size=max(64, self.service.snapshot_size()),
+            view=self.current_view,
+        )
+        self.send(src, response)
+
+    def _on_state_install(self, message: StateInstall) -> None:
+        if message.checkpoint_order < self.next_order:
+            self._confirm_install(message.checkpoint_order, True)
+            return  # we already executed past this checkpoint
+        rollback = self.service.snapshot()
+        previous_cache = dict(self._reply_cache)
+        self.service.restore(message.snapshot)
+        self._reply_cache = {
+            client: (request_id, result) for client, request_id, result in message.reply_vector
+        }
+        if message.expected_digest is not None:
+            digest = self.crypto.digest(
+                (
+                    "checkpoint-state",
+                    message.checkpoint_order,
+                    self.service.state_digestible(),
+                    message.reply_vector,
+                ),
+                size_hint=max(64, self.service.snapshot_size()),
+            )
+            if digest != message.expected_digest:
+                # the peer lied about the state: roll back and report failure
+                self.service.restore(rollback)
+                self._reply_cache = previous_cache
+                self._confirm_install(message.checkpoint_order, False)
+                return
+        self.next_order = message.checkpoint_order + 1
+        self._buffer = {o: m for o, m in self._buffer.items() if o >= self.next_order}
+        self._stable_checkpoint = (
+            message.checkpoint_order,
+            self.service.snapshot(),
+            message.reply_vector,
+            self._stable_checkpoint[3],
+        )
+        if self.handler_address is not None and message.reply_vector:
+            # the reply vector reveals which requests the skipped instances
+            # executed: update the handler so stale suspicion timers clear
+            self.send(
+                self.handler_address,
+                Executed(tuple((client, request_id) for client, request_id, _ in message.reply_vector)),
+            )
+        self._confirm_install(message.checkpoint_order, True)
+        self._drain()
+
+    def _confirm_install(self, order: int, success: bool) -> None:
+        if self.coordinator_address is not None:
+            self.send(self.coordinator_address, StateInstalled(order, success))
+
+    # ------------------------------------------------------------------
+    # Gap filling
+    # ------------------------------------------------------------------
+    def _manage_gap_timer(self) -> None:
+        if not self._buffer or self.next_order in self._buffer:
+            return
+        if self._gap_timer is not None:
+            return
+        self._gap_timer = self.set_timer(self.config.fill_gap_timeout_ns, self._check_gap)
+
+    def _check_gap(self) -> None:
+        self._gap_timer = None
+        if not self._buffer or self.next_order in self._buffer:
+            return
+        # the sequence stalls at next_order: nudge the pillar that owns it
+        pillar = self.config.pillar_of_order(self.next_order)
+        self.send(self.pillar_addresses[pillar], FillGap(self.next_order))
+        self._manage_gap_timer()
+
+    # ------------------------------------------------------------------
+    @property
+    def stable_checkpoint_order(self) -> int:
+        return self._stable_checkpoint[0]
+
+    def reply_cache_entry(self, client_id: str) -> tuple[int, Any] | None:
+        return self._reply_cache.get(client_id)
+
+
+class ReplierStage(Stage):
+    """Reply egress: MACs and transmits replies on its own thread.
+
+    The prototype dedicates "multiple threads for the client handling";
+    these stages are their outbound half — they keep per-reply MAC and
+    socket costs off the execution stage's critical path.
+    """
+
+    def __init__(self, endpoint: Endpoint, thread: SimThread, crypto: CryptoProvider, name: str):
+        super().__init__(endpoint, thread, name)
+        self.crypto = crypto
+        self.replies_sent = 0
+
+    def on_message(self, src: Address, message: Any) -> None:
+        if not isinstance(message, ReplyJob):
+            return
+        for reply in message.replies:
+            self.crypto.compute_mac(b"client-session", reply.digestible(), size_hint=32)
+            self.send(_client_address(reply.client_id), reply)
+            self.replies_sent += 1
+
+
+def _client_address(client_id: str) -> tuple[str, str]:
+    """Clients identify as "node:stage"; plain ids map to a "client" stage."""
+    if ":" in client_id:
+        node, stage = client_id.split(":", 1)
+        return (node, stage)
+    return (client_id, "client")
+
+
+def _freeze(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value

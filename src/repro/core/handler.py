@@ -1,0 +1,168 @@
+"""The client handler stage.
+
+Receives REQUEST messages from clients, verifies their MACs, deduplicates
+retries, and either hands the requests to an ordering pillar (when this
+replica is the proposer for the issuing client in the current view) or
+arms a view-change suspicion timer (when it is not — a follower that sees
+a client request directly has evidence the client already retried, and if
+the leader never orders it, the leader is suspect; paper §5.2.3).
+
+Across view changes the handler reconciles its in-flight table with the
+NEW-VIEW: requests the new view re-proposed are left alone; requests that
+were lost with the old view are proposed again if this replica became the
+proposer (safe: a request that ever committed is guaranteed to appear in
+the new view's re-proposals, so "not covered" implies "never executed"),
+or re-armed with a suspicion timer otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.config import ReplicaGroupConfig
+from repro.crypto.provider import CryptoProvider
+from repro.messages.client import Request, RequestBurst
+from repro.messages.internal import Executed, OrderRequest, ReReply, RequestVc, ViewInstalled
+from repro.sim.process import Address, Endpoint, Stage
+from repro.sim.resources import SimThread
+
+
+class _InFlight:
+    __slots__ = ("request", "timer", "proposed")
+
+    def __init__(self, request: Request, timer=None, proposed: bool = False):
+        self.request = request
+        self.timer = timer
+        self.proposed = proposed
+
+
+class ClientHandler(Stage):
+    """Ingests client requests for one replica."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        thread: SimThread,
+        config: ReplicaGroupConfig,
+        replica_id: str,
+        crypto: CryptoProvider,
+        name: str = "handler",
+    ):
+        super().__init__(endpoint, thread, name)
+        self.config = config
+        self.replica_id = replica_id
+        self.crypto = crypto
+        self.view = 0
+
+        self._executed_watermark: dict[str, int] = {}
+        self._in_flight: dict[tuple[str, int], _InFlight] = {}
+        self._proposing_pillars = config.proposing_pillars(replica_id, 0)
+        self._next_pillar = 0
+        self.requests_accepted = 0
+        self.duplicates_dropped = 0
+
+        # Wired by the replica builder.
+        self.pillar_addresses: list[Address] = []
+        self.exec_address: Address | None = None
+        self.coordinator_address: Address | None = None
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: Address, message: Any) -> None:
+        if isinstance(message, Request):
+            self._on_request(message)
+        elif isinstance(message, RequestBurst):
+            for request in message.requests:
+                self._on_request(request)
+        elif isinstance(message, Executed):
+            self._on_executed(message)
+        elif isinstance(message, ViewInstalled):
+            self._on_view_installed(message)
+
+    # ------------------------------------------------------------------
+    def _on_request(self, request: Request) -> None:
+        # request MACs are verified on the ordering pillars (spreading the
+        # crypto across cores); the handler only routes and deduplicates
+        watermark = self._executed_watermark.get(request.client_id, -1)
+        if request.request_id <= watermark:
+            # already executed: serve the retry from the reply cache
+            self.duplicates_dropped += 1
+            if self.exec_address is not None:
+                self.send(self.exec_address, ReReply(request))
+            return
+        if request.key in self._in_flight:
+            self.duplicates_dropped += 1
+            return
+
+        if self._is_proposer_for(request.client_id):
+            self._in_flight[request.key] = _InFlight(request, proposed=True)
+            self.requests_accepted += 1
+            self._propose(request)
+        else:
+            # follower: the client evidently retried — watch the leader
+            entry = _InFlight(request)
+            entry.timer = self.set_timer(self.config.request_timeout_ns, self._suspect, request.key)
+            self._in_flight[request.key] = entry
+
+    def _is_proposer_for(self, client_id: str) -> bool:
+        return self.config.proposer_replica_for_client(client_id, self.view) == self.replica_id
+
+    def _propose(self, request: Request) -> None:
+        if not self._proposing_pillars:
+            return  # we propose nowhere in this view (fixed-leader follower)
+        index = self._proposing_pillars[self._next_pillar % len(self._proposing_pillars)]
+        self._next_pillar += 1
+        self.send(self.pillar_addresses[index], OrderRequest((request,)))
+
+    def _suspect(self, key: tuple[str, int]) -> None:
+        entry = self._in_flight.get(key)
+        if entry is None:
+            return
+        entry.timer = None
+        if self.coordinator_address is not None:
+            self.send(
+                self.coordinator_address,
+                RequestVc(reason=f"request {key} not executed in time", suspected_view=self.view),
+            )
+
+    def _on_executed(self, message: Executed) -> None:
+        jumped_clients = []
+        for key in message.keys:
+            client_id, request_id = key
+            current = self._executed_watermark.get(client_id, -1)
+            if request_id > current:
+                self._executed_watermark[client_id] = request_id
+                if request_id > current + 1:
+                    jumped_clients.append(client_id)
+            entry = self._in_flight.pop(key, None)
+            if entry is not None and entry.timer is not None:
+                self.cancel_timer(entry.timer)
+        if jumped_clients:
+            # a watermark jump (state transfer) retires whole ranges of
+            # requests at once: clear their leftover suspicion entries
+            jumped = set(jumped_clients)
+            for key, entry in list(self._in_flight.items()):
+                client_id, request_id = key
+                if client_id in jumped and request_id <= self._executed_watermark[client_id]:
+                    if entry.timer is not None:
+                        self.cancel_timer(entry.timer)
+                    del self._in_flight[key]
+
+    def _on_view_installed(self, message: ViewInstalled) -> None:
+        self.view = message.view
+        self._proposing_pillars = self.config.proposing_pillars(self.replica_id, self.view)
+        covered = set(message.covered_keys)
+        for key, entry in list(self._in_flight.items()):
+            if entry.timer is not None:
+                self.cancel_timer(entry.timer)
+                entry.timer = None
+            if key in covered:
+                # the NEW-VIEW re-proposed it; execution will clear the entry
+                entry.proposed = True
+                continue
+            if self._is_proposer_for(entry.request.client_id):
+                # safe to (re-)propose: an uncovered request never committed
+                entry.proposed = True
+                self._propose(entry.request)
+            else:
+                entry.proposed = False
+                entry.timer = self.set_timer(self.config.request_timeout_ns, self._suspect, key)

@@ -1,0 +1,55 @@
+"""Quorum collectors for matching protocol messages.
+
+A quorum certificate is a set of messages from ``q`` *distinct* replicas
+that agree on a key (e.g. the proposal digest of a consensus instance, or
+an ``(order, state digest)`` checkpoint pair).  The collectors here track
+votes per key, deduplicate senders, and report exactly once when the
+quorum is first reached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+
+class MatchingQuorum:
+    """Collects votes on a single key space; one vote per sender per key."""
+
+    def __init__(self, quorum_size: int):
+        if quorum_size < 1:
+            raise ValueError("quorum size must be positive")
+        self.quorum_size = quorum_size
+        self._votes: dict[Hashable, dict[str, Any]] = {}
+        self._reached: set[Hashable] = set()
+
+    def add(self, key: Hashable, sender: str, payload: Any = None) -> bool:
+        """Record a vote.  Returns True exactly when ``key`` first reaches quorum."""
+        votes = self._votes.setdefault(key, {})
+        votes.setdefault(sender, payload)
+        if key not in self._reached and len(votes) >= self.quorum_size:
+            self._reached.add(key)
+            return True
+        return False
+
+    def count(self, key: Hashable) -> int:
+        return len(self._votes.get(key, ()))
+
+    def reached(self, key: Hashable) -> bool:
+        return key in self._reached
+
+    def voters(self, key: Hashable) -> set[str]:
+        return set(self._votes.get(key, ()))
+
+    def payloads(self, key: Hashable) -> list[Any]:
+        return list(self._votes.get(key, {}).values())
+
+    def discard_below(self, threshold: Hashable) -> None:
+        """Garbage-collect keys ordered below ``threshold`` (tuple/int keys)."""
+        stale = [key for key in self._votes if key < threshold]  # type: ignore[operator]
+        for key in stale:
+            del self._votes[key]
+            self._reached.discard(key)
+
+    def clear(self) -> None:
+        self._votes.clear()
+        self._reached.clear()

@@ -1,0 +1,43 @@
+"""The flattened ``[view|order]`` number space (paper §5.2.1).
+
+Hybster binds order messages to trusted counter values.  Because the same
+replica may have to certify messages for the same order number in
+different views, the pair ``(view, order)`` is flattened into a single
+counter value with the view in the most significant bits:
+
+    [v|o] = v << ORDER_BITS | o
+
+All messages of higher views therefore map to higher counter values —
+the property the view-change protocol exploits when it jumps a counter to
+``[v+1|0]`` to seal off an aborted view.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+
+DEFAULT_ORDER_BITS = 40
+
+
+def flatten(view: int, order: int, order_bits: int = DEFAULT_ORDER_BITS) -> int:
+    """Map ``(view, order)`` to the flattened counter value ``[v|o]``."""
+    if view < 0 or order < 0:
+        raise ProtocolError(f"view and order must be non-negative, got ({view}, {order})")
+    if order >= (1 << order_bits):
+        raise ProtocolError(f"order {order} exceeds {order_bits}-bit order space")
+    return (view << order_bits) | order
+
+
+def unflatten(value: int, order_bits: int = DEFAULT_ORDER_BITS) -> tuple[int, int]:
+    """Inverse of :func:`flatten`: counter value back to ``(view, order)``."""
+    if value < 0:
+        raise ProtocolError(f"counter values are non-negative, got {value}")
+    return value >> order_bits, value & ((1 << order_bits) - 1)
+
+
+def view_of(value: int, order_bits: int = DEFAULT_ORDER_BITS) -> int:
+    return value >> order_bits
+
+
+def order_of(value: int, order_bits: int = DEFAULT_ORDER_BITS) -> int:
+    return value & ((1 << order_bits) - 1)

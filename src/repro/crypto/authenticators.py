@@ -1,0 +1,74 @@
+"""PBFT-style MAC authenticators.
+
+An authenticator is a vector of MACs, one per receiving replica, each
+computed with the pairwise session key between the sender and that
+receiver.  PBFT certifies every protocol message this way (one hash per
+entry on the sender side, one hash per incoming message on each receiver),
+which is exactly the ~3+3 hash operations per message the paper counts
+when comparing PBFTcop against HybridPBFT.
+
+Authenticators provide authenticity only: a receiver cannot prove to a
+third party who created a message, and a faulty sender can make its
+authenticator verify at one receiver and fail at another ("faulty
+authenticators") — both weaknesses that trusted MACs remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.mac import session_key
+from repro.crypto.provider import CryptoProvider
+
+
+@dataclass(frozen=True)
+class Authenticator:
+    """A vector of per-receiver MACs keyed by receiver id."""
+
+    sender: str
+    macs: dict[str, bytes]
+
+    def wire_size(self) -> int:
+        return 32 * len(self.macs)
+
+
+class AuthenticatorFactory:
+    """Creates and verifies authenticators for one party.
+
+    The factory derives pairwise session keys from the (out-of-band
+    provisioned) group secret, as PBFT does during key establishment.
+    """
+
+    def __init__(self, me: str, group_secret: bytes, provider: CryptoProvider):
+        self.me = me
+        self._group_secret = group_secret
+        self.provider = provider
+        self._keys: dict[str, bytes] = {}
+
+    def _key_for(self, peer: str) -> bytes:
+        key = self._keys.get(peer)
+        if key is None:
+            key = session_key(self._group_secret, self.me, peer)
+            self._keys[peer] = key
+        return key
+
+    def create(self, receivers: list[str], data: Any, size_hint: int | None = None) -> Authenticator:
+        """MAC ``data`` once per receiver (cost: one hash per entry)."""
+        macs = {
+            receiver: self.provider.compute_mac(self._key_for(receiver), data, size_hint=size_hint)
+            for receiver in receivers
+        }
+        return Authenticator(self.me, macs)
+
+    def verify(self, authenticator: Authenticator, data: Any, size_hint: int | None = None) -> bool:
+        """Check the entry addressed to this party (cost: one hash)."""
+        tag = authenticator.macs.get(self.me)
+        if tag is None:
+            return False
+        return self.provider.verify_mac(
+            self._key_for(authenticator.sender), data, tag, size_hint=size_hint
+        )
+
+
+__all__ = ["Authenticator", "AuthenticatorFactory"]

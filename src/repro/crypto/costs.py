@@ -1,0 +1,66 @@
+"""Calibrated CPU cost profiles for cryptographic operations.
+
+All constants derive from measurements reported in the paper (§6.1, §6.2):
+
+* A single TrInX instance certifies 240,000 32-byte messages per second
+  (≈ 4.17 µs per certificate), composed of the SGX mode switch (2.4 µs),
+  the in-enclave SHA-256 HMAC using the SDK's TCrypto library, and counter
+  bookkeeping.
+* Crossing from Java into native code via JNI costs 0.3 µs.
+* In the 32-byte scenario TCrypto is 20 % slower than the pure Java SHA-256
+  and 40 % slower than OpenSSL (the SDK lacked AES-NI/SHA acceleration);
+  for larger messages TCrypto slightly overtakes Java, which the per-byte
+  coefficients below reproduce.
+* PBFT authenticator hashes are measured at 1.5–2.6 µs per 32-byte message
+  depending on the thread configuration — our full-speed Java profile plus
+  the hyper-threading slowdown covers that range.
+* The FPGA-based CASH subsystem takes 57 µs per certification and is
+  reachable over a single channel only.
+
+Costs are expressed as ``base + per_byte * len(message)`` nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SGX_SWITCH_NS = 2_400  # enter+leave the trusted execution environment
+JNI_CROSSING_NS = 300  # Java -> native -> Java round trip
+CASH_CERT_NS = 57_000  # FPGA certification latency, single channel
+COUNTER_UPDATE_NS = 150  # in-enclave counter bookkeeping per certificate
+
+
+@dataclass(frozen=True)
+class CryptoCostProfile:
+    """CPU cost of one hash/MAC operation for a given crypto library."""
+
+    name: str
+    base_ns: int
+    per_byte_ns: float
+
+    def op_ns(self, size: int) -> int:
+        """Cost in nanoseconds of hashing/MACing ``size`` bytes."""
+        return self.base_ns + int(self.per_byte_ns * size)
+
+
+# 32-byte costs: OpenSSL 0.96 us < Java 1.28 us < TCrypto 1.60 us, matching
+# the paper's 20 %/40 % slowdowns.  TCrypto's lower per-byte coefficient
+# lets it overtake Java for multi-kilobyte messages, as observed in §6.1.
+OPENSSL = CryptoCostProfile("openssl", base_ns=896, per_byte_ns=2.0)
+JAVA = CryptoCostProfile("java", base_ns=1_184, per_byte_ns=3.0)
+TCRYPTO = CryptoCostProfile("tcrypto", base_ns=1_521, per_byte_ns=2.5)
+
+PROFILES = {profile.name: profile for profile in (OPENSSL, JAVA, TCRYPTO)}
+
+
+def trinx_certification_ns(size: int, via_jni: bool = False) -> int:
+    """Cost of one TrInX certificate over a ``size``-byte message.
+
+    Mode switch + in-enclave TCrypto HMAC + counter update (+ JNI when the
+    caller lives in the Java world).  For 32-byte messages this evaluates
+    to ≈ 4.15 µs, i.e. ≈ 240 k certifications/s on one dedicated thread.
+    """
+    cost = SGX_SWITCH_NS + TCRYPTO.op_ns(size) + COUNTER_UPDATE_NS
+    if via_jni:
+        cost += JNI_CROSSING_NS
+    return cost

@@ -1,0 +1,64 @@
+"""SHA-256 digests over arbitrary protocol data.
+
+Protocol objects are canonically serialized before hashing so that two
+replicas computing the digest of "the same" request or checkpoint state
+always agree, regardless of in-memory representation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def canonical_bytes(data: Any) -> bytes:
+    """Serialize ``data`` into a canonical byte string for hashing.
+
+    Supports bytes, str, int, bool, None, floats, and (nested) tuples,
+    lists, dicts, and frozensets of those.  Dicts are serialized in sorted
+    key order; type tags prevent cross-type collisions (``b"1"`` vs ``1``).
+    """
+    if isinstance(data, bytes):
+        return b"B" + len(data).to_bytes(4, "big") + data
+    if isinstance(data, str):
+        raw = data.encode("utf-8")
+        return b"S" + len(raw).to_bytes(4, "big") + raw
+    if isinstance(data, bool):  # before int: bool is an int subclass
+        return b"T" if data else b"F"
+    if isinstance(data, int):
+        raw = str(data).encode("ascii")
+        return b"I" + len(raw).to_bytes(4, "big") + raw
+    if isinstance(data, float):
+        raw = repr(data).encode("ascii")
+        return b"D" + len(raw).to_bytes(4, "big") + raw
+    if data is None:
+        return b"N"
+    if isinstance(data, (tuple, list)):
+        parts = [canonical_bytes(item) for item in data]
+        return b"L" + len(parts).to_bytes(4, "big") + b"".join(parts)
+    if isinstance(data, frozenset):
+        parts = sorted(canonical_bytes(item) for item in data)
+        return b"Z" + len(parts).to_bytes(4, "big") + b"".join(parts)
+    if isinstance(data, dict):
+        parts = []
+        for key in sorted(data, key=lambda k: canonical_bytes(k)):
+            parts.append(canonical_bytes(key))
+            parts.append(canonical_bytes(data[key]))
+        return b"M" + len(parts).to_bytes(4, "big") + b"".join(parts)
+    digestible = getattr(data, "digestible", None)
+    if callable(digestible):
+        return canonical_bytes(digestible())
+    raise TypeError(f"cannot canonically serialize {type(data).__name__}")
+
+
+def digest(data: Any) -> bytes:
+    """SHA-256 digest of the canonical serialization of ``data``."""
+    return hashlib.sha256(canonical_bytes(data)).digest()
+
+
+def digest_hex(data: Any) -> str:
+    """Hex form of :func:`digest`, for traces and error messages."""
+    return digest(data).hex()
+
+
+DIGEST_SIZE = 32

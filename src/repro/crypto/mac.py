@@ -1,0 +1,38 @@
+"""HMAC-SHA256 message authentication codes.
+
+These are the *untrusted* MACs of the paper: any holder of the session key
+can produce them, so they provide authenticity but not non-repudiability.
+Trusted MACs (non-repudiable, enclave-held key) live in :mod:`repro.trinx`.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+from typing import Any
+
+from repro.crypto.digests import canonical_bytes
+
+MAC_SIZE = 32
+
+
+def compute_mac(key: bytes, data: Any) -> bytes:
+    """HMAC-SHA256 of the canonical serialization of ``data``."""
+    return hmac.new(key, canonical_bytes(data), hashlib.sha256).digest()
+
+
+def verify_mac(key: bytes, data: Any, mac: bytes) -> bool:
+    """Constant-time verification of an HMAC produced by :func:`compute_mac`."""
+    return hmac.compare_digest(compute_mac(key, data), mac)
+
+
+def session_key(group_secret: bytes, party_a: str, party_b: str) -> bytes:
+    """Derive the pairwise session key between two parties.
+
+    The derivation is symmetric (ordering of the parties does not matter),
+    mirroring the pairwise keys PBFT establishes between every replica and
+    client pair for its authenticators.
+    """
+    first, second = sorted((party_a, party_b))
+    material = canonical_bytes((first, second))
+    return hmac.new(group_secret, b"session" + material, hashlib.sha256).digest()

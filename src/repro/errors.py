@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause.  Subsystems add
+more specific subclasses; protocol-level misbehaviour that must be *detected*
+rather than raised (Byzantine messages) is reported through return values,
+never through exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A replica group, machine, or experiment was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class TrustedSubsystemError(ReproError):
+    """Base class for trusted-subsystem (TrInX/USIG/CASH) errors."""
+
+
+class CounterRegressionError(TrustedSubsystemError):
+    """A certificate was requested for a counter value lower than the current one."""
+
+
+class UnknownCounterError(TrustedSubsystemError):
+    """A certificate referenced a counter id outside the configured range."""
+
+
+class SealedKeyMismatchError(TrustedSubsystemError):
+    """Two subsystem instances were initialized with different group secrets."""
+
+
+class ReplayProtectionError(TrustedSubsystemError):
+    """An attempt was made to restart an enclave from stale sealed state."""
+
+
+class CertificateError(ReproError):
+    """A certificate failed structural validation (distinct from *invalid* MACs)."""
+
+
+class ProtocolError(ReproError):
+    """A local protocol invariant was violated (a bug, not a Byzantine peer)."""
+
+
+class WindowViolationError(ProtocolError):
+    """An order number outside the current ordering window was used locally."""
+
+
+class ServiceError(ReproError):
+    """A replicated service rejected an operation (propagated in the reply)."""

@@ -1,0 +1,16 @@
+"""Experiment harnesses: one module per table/figure of the paper's §6.
+
+Each module exposes ``run(scale)`` returning a :class:`FigureResult`
+(structured series plus the paper's reference values) and can render an
+ASCII report.  ``scale`` is ``"quick"`` (seconds of wall time, used by the
+pytest benchmarks) or ``"full"`` (longer measurement windows).
+
+Use the CLI to regenerate any figure::
+
+    repro-experiments fig5a --scale quick
+    repro-experiments all --scale full
+"""
+
+from repro.experiments.report import FigureResult, Series
+
+__all__ = ["FigureResult", "Series"]

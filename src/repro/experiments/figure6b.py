@@ -1,0 +1,25 @@
+"""Figure 6b — average latency vs throughput with 1-KiB payloads.
+
+Identical methodology to Figure 6a but requests *and* replies carry one
+kilobyte.  The paper reports lower but comparable numbers, with the
+network becoming an additional limiting factor near saturation (the
+0-byte benchmark is purely CPU-bound).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure6a import run as run_6a
+from repro.experiments.report import FigureResult
+
+PAYLOAD = 1024
+
+
+def run(scale: str = "quick") -> FigureResult:
+    result = run_6a(scale, payload_size=PAYLOAD, figure_id="fig6b")
+    result.title = "Latency vs throughput, 1 KiB payloads, batched, fixed leader"
+    result.notes.append("the network adds a limiting factor that 0-byte runs lack")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run("full").render())

@@ -1,0 +1,73 @@
+"""Figure 6c — coordination service throughput vs read rate.
+
+The ZooKeeper-inspired service of §6.4: clients store and retrieve
+128-byte nodes; the proportion of reads varies from 0 % to 100 %.  No
+read optimization exists — reads run through the full protocol — and no
+rotation is used, so a single replica proposes everything.
+
+Expected shape (paper): HybsterX 10-20 % above HybridPBFT, 30-40 % above
+PBFTcop, and 2.5-3× its own sequential basic protocol, roughly flat
+across read rates.
+"""
+
+from __future__ import annotations
+
+from repro.clients.workload import CoordinationWorkload
+from repro.experiments.protocol_common import PROTOCOL_LABELS, measure_point
+from repro.experiments.report import FigureResult, Series
+
+MILLISECOND = 1_000_000
+
+PROTOCOLS = ("hybster-x", "hybster-s", "hybrid-pbft", "pbft")
+BATCH = 16
+NODE_SIZE = 128
+
+
+def run(scale: str = "quick") -> FigureResult:
+    if scale == "quick":
+        read_rates, measure_ns, load = (0.0, 0.5, 1.0), 30 * MILLISECOND, 0.5
+    else:
+        read_rates, measure_ns, load = (0.0, 0.25, 0.5, 0.75, 1.0), 50 * MILLISECOND, 0.8
+    # clients create their subtrees sequentially before the measurement; the
+    # warm-up must cover that setup phase plus steady-state ramp-up
+    warmup_ns = 200 * MILLISECOND
+    result = FigureResult(
+        figure_id="fig6c",
+        title="Coordination service throughput vs read rate (128-byte nodes)",
+        x_label="read fraction",
+        y_label="kops/s",
+        paper_reference={
+            "HybsterX over HybridPBFT": 1.15,
+            "HybsterX over PBFTcop": 1.35,
+            "HybsterX over HybsterS": 2.75,
+        },
+    )
+    for protocol in PROTOCOLS:
+        series = result.add_series(Series(PROTOCOL_LABELS[protocol]))
+        for read_rate in read_rates:
+            def factory(client_id: str, index: int, _rate=read_rate):
+                return CoordinationWorkload(
+                    client_id, read_fraction=_rate, node_size=NODE_SIZE, seed=index
+                )
+
+            point = measure_point(
+                protocol,
+                cores=4,
+                batch_size=BATCH,
+                rotation=False,
+                service="coordination",
+                workload_factory=factory,
+                warmup_ns=warmup_ns,
+                measure_ns=measure_ns,
+                load_factor=load,
+            )
+            series.add(read_rate, point.throughput_ops / 1e3)
+    result.notes.append(
+        "strong consistency: reads are ordered like writes, so throughput "
+        "stays roughly flat across the read/write mix"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run("full").render())

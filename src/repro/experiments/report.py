@@ -1,0 +1,82 @@
+"""Structured results and ASCII rendering for experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Series:
+    """One curve of a figure: a label and (x, y) points."""
+
+    label: str
+    points: list[tuple[Any, float]] = field(default_factory=list)
+
+    def add(self, x: Any, y: float) -> None:
+        self.points.append((x, y))
+
+    def y_values(self) -> list[float]:
+        return [y for _x, y in self.points]
+
+    def value_at(self, x: Any) -> float | None:
+        for point_x, y in self.points:
+            if point_x == x:
+                return y
+        return None
+
+    @property
+    def final(self) -> float:
+        return self.points[-1][1]
+
+    @property
+    def peak(self) -> float:
+        return max(y for _x, y in self.points)
+
+
+@dataclass
+class FigureResult:
+    """All series of one reproduced figure, plus context for the report."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    paper_reference: dict[str, float] = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(f"no series {label!r} in {self.figure_id}")
+
+    def add_series(self, series: Series) -> Series:
+        self.series.append(series)
+        return series
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Readable report: one row per x value, one column per series."""
+        lines = [f"=== {self.figure_id}: {self.title} ===", f"y: {self.y_label}"]
+        xs: list[Any] = []
+        for series in self.series:
+            for x, _y in series.points:
+                if x not in xs:
+                    xs.append(x)
+        header = f"{self.x_label:>16} " + " ".join(f"{s.label:>14}" for s in self.series)
+        lines.append(header)
+        for x in xs:
+            cells = []
+            for series in self.series:
+                value = series.value_at(x)
+                cells.append(f"{value:14.1f}" if value is not None else " " * 14)
+            lines.append(f"{str(x):>16} " + " ".join(cells))
+        if self.paper_reference:
+            lines.append("paper reference: " + ", ".join(
+                f"{k}={v:g}" for k, v in self.paper_reference.items()
+            ))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""CLI entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    repro-experiments fig5a [--scale quick|full]
+    repro-experiments all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figure5a, figure5b, figure5c, figure6a, figure6b, figure6c, trinx_micro
+
+EXPERIMENTS = {
+    "trinx": trinx_micro.run,
+    "fig5a": figure5a.run,
+    "fig5b": figure5b.run,
+    "fig5c": figure5c.run,
+    "fig6a": figure6a.run,
+    "fig6b": figure6b.run,
+    "fig6c": figure6c.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation figures of 'Hybrids on Steroids' (EuroSys '17)",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    parser.add_argument("--scale", choices=("quick", "full"), default="quick")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](args.scale)
+        print(result.render())
+        print(f"({name} took {time.time() - started:.1f}s wall time)\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

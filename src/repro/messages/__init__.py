@@ -1,0 +1,35 @@
+"""Protocol message types.
+
+Messages are immutable dataclasses.  Two aspects matter to the rest of
+the system:
+
+* ``wire_size()`` — the bytes the message would occupy on the network,
+  feeding the bandwidth model (requests carry an explicit payload size so
+  the 0 B / 128 B / 1 KiB / 4 KiB experiments of §6.3 work without
+  materializing payloads);
+* ``digestible()`` — the canonical content covered by digests, MACs and
+  trusted-counter certificates, so equivocation attempts are detected by
+  real cryptographic comparison.
+"""
+
+from repro.messages.base import MESSAGE_HEADER_SIZE, ProtocolMessage
+from repro.messages.client import Reply, Request
+from repro.messages.ordering import Commit, Prepare
+from repro.messages.checkpointing import Checkpoint
+from repro.messages.viewchange import NewView, NewViewAck, ViewChange
+from repro.messages.statetransfer import StateRequest, StateResponse
+
+__all__ = [
+    "MESSAGE_HEADER_SIZE",
+    "ProtocolMessage",
+    "Request",
+    "Reply",
+    "Prepare",
+    "Commit",
+    "Checkpoint",
+    "ViewChange",
+    "NewView",
+    "NewViewAck",
+    "StateRequest",
+    "StateResponse",
+]

@@ -1,0 +1,27 @@
+"""Shared message infrastructure."""
+
+from __future__ import annotations
+
+MESSAGE_HEADER_SIZE = 20  # type tag, lengths, sender id — typical framing
+
+
+class ProtocolMessage:
+    """Marker base class; subclasses are frozen dataclasses.
+
+    Subclasses implement ``wire_size`` and ``digestible``.  ``digestible``
+    must cover every field a certificate is supposed to bind — tests forge
+    messages by varying single fields and expect verification to fail.
+    """
+
+    def wire_size(self) -> int:
+        raise NotImplementedError
+
+    def digestible(self):
+        raise NotImplementedError
+
+
+def certificate_size(certificate) -> int:
+    """Wire size of an (optional) attached certificate or authenticator."""
+    if certificate is None:
+        return 0
+    return certificate.wire_size()

@@ -1,0 +1,36 @@
+"""Checkpoint messages (paper §5.2.2).
+
+Checkpoints are not subject to equivocation — all correct replicas reach
+the same state after the same order number — so a CHECKPOINT only needs a
+*trusted MAC* certificate (non-repudiable, but no counter advance) over
+the state digest.  The digest covers the service snapshot **and** the
+vector of last return values per client, which fallen-behind replicas
+need to answer skipped requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.base import MESSAGE_HEADER_SIZE, ProtocolMessage, certificate_size
+from repro.trinx.certificates import CounterCertificate
+
+
+@dataclass(frozen=True)
+class Checkpoint(ProtocolMessage):
+    """Announcement that ``replica`` snapshotted its state at ``order``."""
+
+    order: int
+    replica: str
+    state_digest: bytes
+    certificate: CounterCertificate | None = None
+
+    def digestible(self):
+        return ("checkpoint", self.order, self.replica, self.state_digest)
+
+    def agreement_key(self) -> tuple[int, bytes]:
+        """What a quorum must match on: the order number and state digest."""
+        return (self.order, self.state_digest)
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + 8 + 32 + certificate_size(self.certificate)

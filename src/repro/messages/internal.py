@@ -1,0 +1,246 @@
+"""Replica-internal messages (Figure 4 of the paper).
+
+These never cross the network: pillars, the execution stage, and the
+client handler of one replica exchange them via asynchronous in-memory
+message passing (the consensus-oriented parallelization scheme).  They
+still flow through the simulated threads so their handling cost lands on
+the right core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.messages.checkpointing import Checkpoint
+from repro.messages.client import Request
+from repro.messages.ordering import Prepare
+from repro.messages.viewchange import NewView, NewViewAck, ViewChange
+
+
+@dataclass(frozen=True)
+class ExecRequest:
+    """Pillar -> execution: instance ``order`` committed with ``batch``."""
+
+    order: int
+    view: int
+    batch: tuple[Request, ...]
+
+
+@dataclass(frozen=True)
+class CkReached:
+    """Execution -> responsible pillar: state snapshot at ``order`` taken."""
+
+    order: int
+    state_digest: bytes
+
+
+@dataclass(frozen=True)
+class CkStable:
+    """Responsible pillar -> all pillars and execution: checkpoint stable."""
+
+    order: int
+    certificate: tuple[Checkpoint, ...]
+
+
+@dataclass(frozen=True)
+class OrderRequest:
+    """Client handler -> pillar: propose these verified client requests."""
+
+    requests: tuple[Request, ...]
+
+
+@dataclass(frozen=True)
+class FillGap:
+    """Execution -> pillar: the global sequence stalls at ``order``; if we
+    are its proposer and have not proposed it yet, propose (a no-op)."""
+
+    order: int
+
+
+@dataclass(frozen=True)
+class Executed:
+    """Execution -> client handler: requests done (clears follower timers)."""
+
+    keys: tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class RequestVc:
+    """Any stage -> view-change coordinator: progress is suspect.
+
+    ``resend_only`` marks nudges that must never *start* a view change —
+    they only ask for a re-multicast of an in-flight VIEW-CHANGE (e.g.
+    when ordering traffic shows the pending view established elsewhere).
+    """
+
+    reason: str
+    suspected_view: int
+    resend_only: bool = False
+
+
+@dataclass(frozen=True)
+class PrepareVc:
+    """Coordinator -> pillars: collect state for aborting into ``v_to``."""
+
+    v_to: int
+
+
+@dataclass(frozen=True)
+class UnitVc:
+    """Pillar -> coordinator: this pillar's window contents for the abort."""
+
+    pillar: int
+    v_to: int
+    checkpoint_order: int
+    prepares: tuple[Prepare, ...]
+
+
+@dataclass(frozen=True)
+class VcReady:
+    """Coordinator -> pillars: create and multicast your VIEW-CHANGE part."""
+
+    v_from: int
+    v_to: int
+    checkpoint_order: int
+    checkpoint_certificate: tuple[Checkpoint, ...]
+    prepares_by_pillar: tuple[tuple[Prepare, ...], ...]
+
+
+@dataclass(frozen=True)
+class ForwardVc:
+    """Pillar -> coordinator: verified external VIEW-CHANGE part received."""
+
+    part: ViewChange
+
+
+@dataclass(frozen=True)
+class ForwardNv:
+    """Pillar -> coordinator: verified external NEW-VIEW part received."""
+
+    part: NewView
+
+
+@dataclass(frozen=True)
+class ForwardAck:
+    """Pillar -> coordinator: external NEW-VIEW-ACK part received."""
+
+    part: NewViewAck
+
+
+@dataclass(frozen=True)
+class NvReady:
+    """Coordinator -> leader pillars: issue your NEW-VIEW part.
+
+    ``prepares_by_pillar[i]`` holds the (gap-filled) re-proposals pillar i
+    must certify with fresh independent certificates in the new view.
+    """
+
+    v_to: int
+    base_view: int
+    checkpoint_order: int
+    checkpoint_certificate: tuple[Checkpoint, ...]
+    view_changes: tuple[ViewChange, ...]
+    acks: tuple[NewViewAck, ...]
+    prepares_by_pillar: tuple[tuple[Prepare, ...], ...]
+
+
+@dataclass(frozen=True)
+class NvStable:
+    """Coordinator -> pillars + execution: view ``v_to`` is stable.
+
+    Pillars adopt the window position and acknowledge their share of the
+    re-proposed prepares; the execution stage state-transfers if the
+    checkpoint is ahead of what it has executed.
+    """
+
+    v_to: int
+    checkpoint_order: int
+    checkpoint_certificate: tuple[Checkpoint, ...]
+    prepares_by_pillar: tuple[tuple[Prepare, ...], ...]
+
+
+@dataclass(frozen=True)
+class AckReady:
+    """Coordinator -> pillars: send a NEW-VIEW-ACK part for ``view``."""
+
+    view: int
+    prepares_by_pillar: tuple[tuple[Prepare, ...], ...]
+
+
+@dataclass(frozen=True)
+class ResendVc:
+    """Coordinator -> pillars: re-multicast your cached VIEW-CHANGE part."""
+
+    v_to: int
+
+
+@dataclass(frozen=True)
+class ResendNv:
+    """Coordinator -> pillars: re-send your cached NEW-VIEW part to a peer."""
+
+    v_to: int
+    target: str
+
+
+@dataclass(frozen=True)
+class ReplyJob:
+    """Execution -> replier thread: MAC and transmit these replies.
+
+    One job per executed batch; the replies inside go to distinct clients
+    (separate transmissions), but the hand-off cost is paid once.
+    """
+
+    replies: tuple[Any, ...]  # repro.messages.client.Reply
+
+
+@dataclass(frozen=True)
+class ReReply:
+    """Client handler -> execution: re-send the cached reply for a retry."""
+
+    request: Request
+
+
+@dataclass(frozen=True)
+class ViewInstalled:
+    """Coordinator -> client handler: the replica entered a stable view.
+
+    ``covered_keys`` are the request keys re-proposed by the NEW-VIEW; a
+    handler that just became the proposer must not order them again.
+    """
+
+    view: int
+    covered_keys: tuple[tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class RequestState:
+    """Pillar -> coordinator: we fell behind; fetch state from ``source``."""
+
+    checkpoint_order: int
+    source: str
+
+
+@dataclass(frozen=True)
+class StateInstall:
+    """Coordinator -> execution: adopt this checkpoint state.
+
+    The execution stage recomputes the state digest after restoring and
+    rolls back if it does not match ``expected_digest`` (the digest the
+    quorum certificate vouches for), so a lying state-transfer peer cannot
+    corrupt the replica.
+    """
+
+    checkpoint_order: int
+    snapshot: Any
+    reply_vector: tuple[tuple[str, int, Any], ...]
+    expected_digest: bytes | None = None
+
+
+@dataclass(frozen=True)
+class StateInstalled:
+    """Execution -> coordinator: outcome of a StateInstall."""
+
+    checkpoint_order: int
+    success: bool
+

@@ -1,0 +1,104 @@
+"""Ordering messages of Hybster's two-phase protocol (paper §5.2.1).
+
+The leader of view ``v`` proposes a batch of requests for order number
+``o`` in a PREPARE certified with an *independent* counter certificate
+``tau(leader, O, [v|o], -)``; every follower acknowledges with a COMMIT
+carrying its own independent certificate over the same flattened value.
+The PREPARE doubles as the leader's acknowledgment — no dedicated leader
+COMMIT exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.base import MESSAGE_HEADER_SIZE, ProtocolMessage, certificate_size
+from repro.messages.client import Request
+from repro.trinx.certificates import CounterCertificate
+
+
+@dataclass(frozen=True)
+class Prepare(ProtocolMessage):
+    """The proposer's message binding ``batch`` to instance ``(view, order)``.
+
+    ``reproposal`` marks PREPAREs issued inside a NEW-VIEW: they are always
+    certified by the new view's primary (with the primary's own lane
+    counter), even for order numbers whose lane belongs to another replica
+    under a rotating-leader configuration.
+    """
+
+    view: int
+    order: int
+    batch: tuple[Request, ...]
+    leader: str
+    certificate: CounterCertificate | None = None
+    reproposal: bool = False
+
+    def digestible(self):
+        return (
+            "prepare",
+            self.view,
+            self.order,
+            self.leader,
+            tuple(request.digestible() for request in self.batch),
+            self.reproposal,
+        )
+
+    def proposal_digestible(self):
+        """What COMMITs agree on: the request assignment, not the sender."""
+        return ("proposal", self.view, self.order, tuple(r.digestible() for r in self.batch))
+
+    def wire_size(self) -> int:
+        return (
+            MESSAGE_HEADER_SIZE
+            + 16
+            + sum(request.wire_size() for request in self.batch)
+            + certificate_size(self.certificate)
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        """Empty instances fill gaps left by parallel ordering / view changes."""
+        return len(self.batch) == 0
+
+
+@dataclass(frozen=True)
+class Commit(ProtocolMessage):
+    """A follower's acknowledgment of the leader's proposal.
+
+    ``proposal_digest`` is the digest of the acknowledged PREPARE's
+    proposal, so two COMMITs for the same instance match exactly when they
+    acknowledge the same assignment.
+    """
+
+    view: int
+    order: int
+    replica: str
+    proposal_digest: bytes
+    certificate: CounterCertificate | None = None
+
+    def digestible(self):
+        return ("commit", self.view, self.order, self.replica, self.proposal_digest)
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + 16 + 32 + certificate_size(self.certificate)
+
+
+@dataclass(frozen=True)
+class InstanceFetch(ProtocolMessage):
+    """Ask peers to retransmit their ordering messages for ``order``.
+
+    Sent when the execution stage detects a gap: the proposer answers with
+    its PREPARE, followers with their COMMITs.  Needs no certificate — a
+    forged fetch only triggers retransmission of messages that are
+    self-certifying anyway.
+    """
+
+    order: int
+    view: int
+
+    def digestible(self):
+        return ("instance-fetch", self.order, self.view)
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + 12

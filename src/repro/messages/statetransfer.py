@@ -1,0 +1,53 @@
+"""State-transfer messages.
+
+A fallen-behind replica fetches the service state of the newest stable
+checkpoint from a peer.  Correctness of the received snapshot is checked
+against the digest in the checkpoint quorum certificate, so the peer need
+not be trusted.  The snapshot includes the reply vector (last result per
+client) because skipped requests are never executed locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.messages.base import MESSAGE_HEADER_SIZE, ProtocolMessage
+from repro.messages.checkpointing import Checkpoint
+
+
+@dataclass(frozen=True)
+class StateRequest(ProtocolMessage):
+    """Ask a peer for the state at (or after) ``min_order``."""
+
+    replica: str
+    min_order: int
+
+    def digestible(self):
+        return ("state-request", self.replica, self.min_order)
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + 8
+
+
+@dataclass(frozen=True)
+class StateResponse(ProtocolMessage):
+    """A stable checkpoint's certificate plus the matching snapshot."""
+
+    replica: str
+    checkpoint_order: int
+    checkpoint_certificate: tuple[Checkpoint, ...]
+    snapshot: Any
+    snapshot_size: int
+    view: int
+
+    def digestible(self):
+        return ("state-response", self.replica, self.checkpoint_order, self.view)
+
+    def wire_size(self) -> int:
+        return (
+            MESSAGE_HEADER_SIZE
+            + 16
+            + sum(checkpoint.wire_size() for checkpoint in self.checkpoint_certificate)
+            + self.snapshot_size
+        )

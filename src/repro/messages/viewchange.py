@@ -1,0 +1,152 @@
+"""View-change messages (paper §5.2.3, §5.3.3).
+
+A VIEW-CHANGE announces that its sender aborted view ``v_from`` to support
+the leader of ``v_to``.  Its *continuing* counter certificate
+``tau(r, O, [v_to|0], [previous])`` anchors the sender's ordering history:
+the unforgeable previous value forces even a faulty replica to include the
+PREPAREs of every instance it actively participated in since its stable
+checkpoint — and prevents it from ever sending another order message for
+the aborted view.
+
+For the parallel protocol the external messages are *split*: each pillar
+issues one part certified by its own TrInX instance, and receivers only
+act once all ``num_parts`` parts of a replica's message arrived (the part
+count is fixed by the group configuration).  The sequential protocol is
+simply the one-part case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.base import MESSAGE_HEADER_SIZE, ProtocolMessage, certificate_size
+from repro.messages.checkpointing import Checkpoint
+from repro.messages.ordering import Prepare
+from repro.trinx.certificates import CounterCertificate, MultiCounterCertificate
+
+
+@dataclass(frozen=True)
+class ViewChange(ProtocolMessage):
+    """One (part of a) VIEW-CHANGE message.
+
+    ``checkpoint_order``/``checkpoint_certificate`` prove the position of
+    the sender's ordering window; ``prepares`` are the PREPAREs of all
+    window instances of this part's pillar the sender participated in.
+    """
+
+    replica: str
+    v_from: int
+    v_to: int
+    checkpoint_order: int
+    checkpoint_certificate: tuple[Checkpoint, ...]
+    prepares: tuple[Prepare, ...]
+    certificate: CounterCertificate | None = None
+    # rotating-leader configurations seal all ordering lanes of the pillar
+    # with one multi-counter continuing certificate instead
+    multi_certificate: MultiCounterCertificate | None = None
+    pillar: int = 0
+    num_parts: int = 1
+
+    def digestible(self):
+        return (
+            "view-change",
+            self.replica,
+            self.v_from,
+            self.v_to,
+            self.checkpoint_order,
+            tuple(prepare.digestible() for prepare in self.prepares),
+            self.pillar,
+            self.num_parts,
+        )
+
+    def wire_size(self) -> int:
+        return (
+            MESSAGE_HEADER_SIZE
+            + 24
+            + sum(checkpoint.wire_size() for checkpoint in self.checkpoint_certificate)
+            + sum(prepare.wire_size() for prepare in self.prepares)
+            + certificate_size(self.certificate)
+            + certificate_size(self.multi_certificate)
+        )
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.replica, self.v_to)
+
+
+@dataclass(frozen=True)
+class NewView(ProtocolMessage):
+    """One (part of a) NEW-VIEW: the proof that ``v_to`` starts correctly.
+
+    ``view_changes`` is the new-view certificate (q VIEW-CHANGEs for
+    ``v_to``), ``acks`` supplements it with NEW-VIEW-ACKs when fewer than
+    f+1 of the VIEW-CHANGEs share the base view; ``prepares`` re-propose
+    every potentially committed assignment in view ``v_to``.
+    """
+
+    leader: str
+    v_to: int
+    base_view: int
+    checkpoint_order: int
+    checkpoint_certificate: tuple[Checkpoint, ...]
+    view_changes: tuple[ViewChange, ...]
+    acks: tuple["NewViewAck", ...]
+    prepares: tuple[Prepare, ...]
+    pillar: int = 0
+    num_parts: int = 1
+
+    def digestible(self):
+        return (
+            "new-view",
+            self.leader,
+            self.v_to,
+            self.base_view,
+            self.checkpoint_order,
+            tuple(vc.digestible() for vc in self.view_changes),
+            tuple(prepare.digestible() for prepare in self.prepares),
+            self.pillar,
+            self.num_parts,
+        )
+
+    def wire_size(self) -> int:
+        return (
+            MESSAGE_HEADER_SIZE
+            + 24
+            + sum(checkpoint.wire_size() for checkpoint in self.checkpoint_certificate)
+            + sum(vc.wire_size() for vc in self.view_changes)
+            + sum(ack.wire_size() for ack in self.acks)
+            + sum(prepare.wire_size() for prepare in self.prepares)
+        )
+
+
+@dataclass(frozen=True)
+class NewViewAck(ProtocolMessage):
+    """Acknowledgment that ``view`` was properly established.
+
+    Sent by a replica that installs a NEW-VIEW for a view it had already
+    aborted; carries the PREPAREs learned from that NEW-VIEW so at least
+    one correct replica propagates them.  Needs no counter certificate —
+    omitting it is indistinguishable from a fault the protocol tolerates.
+    """
+
+    replica: str
+    view: int
+    prepares: tuple[Prepare, ...]
+    pillar: int = 0
+    num_parts: int = 1
+
+    def digestible(self):
+        return (
+            "new-view-ack",
+            self.replica,
+            self.view,
+            tuple(prepare.digestible() for prepare in self.prepares),
+            self.pillar,
+        )
+
+    def wire_size(self) -> int:
+        return (
+            MESSAGE_HEADER_SIZE
+            + 12
+            + sum(prepare.wire_size() for prepare in self.prepares)
+        )

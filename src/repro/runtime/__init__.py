@@ -1,0 +1,23 @@
+"""Deployment and benchmark harness.
+
+This layer reproduces the paper's testbed (§6, "Setup"): six machines
+with quad-core i7-6700 CPUs (Hyper-Threading on, Turbo Boost off) on
+switched gigabit Ethernet — 3 or 4 replica machines depending on the
+protocol plus two client machines — and the measurement methodology
+(saturating clients with bounded asynchronous request windows, average
+latency/throughput over a measurement interval after warm-up).
+"""
+
+from repro.runtime.calibration import CalibrationProfile, DEFAULT_CALIBRATION
+from repro.runtime.deployment import Deployment, DeploymentSpec, build_deployment
+from repro.runtime.benchmark import BenchmarkResult, run_benchmark
+
+__all__ = [
+    "CalibrationProfile",
+    "DEFAULT_CALIBRATION",
+    "Deployment",
+    "DeploymentSpec",
+    "build_deployment",
+    "BenchmarkResult",
+    "run_benchmark",
+]

@@ -1,0 +1,108 @@
+"""Benchmark execution: warm-up, measurement, and result aggregation.
+
+Mirrors the paper's methodology: clients saturate the system, the run
+measures average throughput and latency over a fixed interval after a
+warm-up, and CPU and network usage are monitored on all machines.  The
+paper averages three 120 s runs on real hardware; the simulator is
+deterministic, so one (much shorter) simulated interval carries the same
+information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clients.stats import LatencyStats
+from repro.runtime.deployment import Deployment
+
+MILLISECOND = 1_000_000
+
+
+@dataclass
+class BenchmarkResult:
+    """Aggregated outcome of one measurement interval."""
+
+    protocol: str
+    throughput_ops: float
+    latency: LatencyStats
+    measure_ns: int
+    completed: int
+    replica_cpu_utilization: float
+    client_cpu_utilization: float
+    network_bytes: int
+    replica_stats: list[dict]
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency.mean_ms
+
+    def __str__(self) -> str:
+        return (
+            f"{self.protocol}: {self.throughput_ops / 1e3:8.1f} kops/s, "
+            f"{self.latency_ms:7.3f} ms mean latency, "
+            f"CPU {self.replica_cpu_utilization * 100:5.1f} %"
+        )
+
+
+def run_benchmark(
+    deployment: Deployment,
+    warmup_ns: int = 100 * MILLISECOND,
+    measure_ns: int = 200 * MILLISECOND,
+) -> BenchmarkResult:
+    """Run the deployment and measure throughput/latency after warm-up."""
+    sim = deployment.sim
+    deployment.start_clients()
+    sim.run(until=sim.now + warmup_ns)
+
+    completed_before = deployment.total_completed()
+    busy_before = _busy_ns(deployment.replica_machines)
+    client_busy_before = _busy_ns(deployment.client_machines)
+    bytes_before = _network_bytes(deployment)
+    for client in deployment.clients:
+        client.stats = LatencyStats()
+
+    start = sim.now
+    sim.run(until=start + measure_ns)
+    elapsed = sim.now - start
+
+    completed = deployment.total_completed() - completed_before
+    throughput = completed / (elapsed / 1e9) if elapsed else 0.0
+    latency = LatencyStats()
+    for client in deployment.clients:
+        latency.merge(client.stats)
+
+    replica_threads = sum(len(m.threads) for m in deployment.replica_machines)
+    client_threads = sum(len(m.threads) for m in deployment.client_machines)
+    replica_cpu = (
+        (_busy_ns(deployment.replica_machines) - busy_before) / (elapsed * replica_threads)
+        if replica_threads
+        else 0.0
+    )
+    client_cpu = (
+        (_busy_ns(deployment.client_machines) - client_busy_before) / (elapsed * client_threads)
+        if client_threads
+        else 0.0
+    )
+
+    return BenchmarkResult(
+        protocol=deployment.spec.protocol,
+        throughput_ops=throughput,
+        latency=latency,
+        measure_ns=elapsed,
+        completed=completed,
+        replica_cpu_utilization=min(1.0, replica_cpu),
+        client_cpu_utilization=min(1.0, client_cpu),
+        network_bytes=_network_bytes(deployment) - bytes_before,
+        replica_stats=[replica.stats() for replica in deployment.replicas],
+    )
+
+
+def _busy_ns(machines) -> int:
+    return sum(thread.busy_ns for machine in machines for thread in machine.threads)
+
+
+def _network_bytes(deployment: Deployment) -> int:
+    return sum(
+        deployment.network.interface(machine.name).bytes_sent
+        for machine in deployment.replica_machines + deployment.client_machines
+    )

@@ -1,0 +1,35 @@
+"""Calibration constants for the performance model.
+
+The crypto and enclave costs are fixed by measurements reported in the
+paper (see :mod:`repro.crypto.costs`).  The remaining free parameters of
+the model describe the Java prototype's framework overhead and are
+calibrated once against the paper's headline numbers (§6.2):
+
+* ``message_base_cost_ns`` — per-handler-invocation cost of receiving a
+  message (deserialization, queueing, dispatch);
+* ``send_cost_ns`` — per-remote-message cost of serializing and writing
+  to a socket (this is what batching amortizes);
+* ``local_send_cost_ns`` — in-memory hand-off between stages;
+* ``client_*`` — the same constants for the client-side implementation.
+
+A single profile is used for *all* protocol configurations — the
+protocols differ only in the number and size of messages and crypto
+operations they perform, exactly as on the real testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CalibrationProfile:
+    message_base_cost_ns: int = 1_000
+    send_cost_ns: int = 2_200
+    control_send_cost_ns: int = 900
+    local_send_cost_ns: int = 250
+    client_base_cost_ns: int = 800
+    client_send_cost_ns: int = 1_500
+
+
+DEFAULT_CALIBRATION = CalibrationProfile()

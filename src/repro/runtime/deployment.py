@@ -1,0 +1,219 @@
+"""Deployment construction: protocols, machines, clients.
+
+``build_deployment`` turns a :class:`DeploymentSpec` into a fully wired
+simulated cluster: replica machines running the selected protocol
+configuration, client machines running the workload generators, and the
+network connecting them.
+
+Protocol names follow the paper's subjects (§6):
+
+* ``hybster-s`` — sequential basic protocol: one pillar, one TrInX
+  instance, plus execution and client-handling threads (3 replicas);
+* ``hybster-x`` — full Hybster: one pillar + TrInX instance per core
+  (3 replicas);
+* ``pbft`` — PBFTcop: three-phase PBFT with consensus-oriented
+  parallelization and MAC authenticators (4 replicas);
+* ``hybrid-pbft`` — PBFTcop certifying with trusted MACs (4 replicas);
+* ``minbft`` — sequential MinBFT on USIG (3 replicas; ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.baselines.minbft import build_minbft_group
+from repro.baselines.pbft import AUTHENTICATORS, TRUSTED_MACS, build_pbft_group
+from repro.clients.client import Client
+from repro.clients.workload import NullWorkload, Workload
+from repro.core.config import ReplicaGroupConfig
+from repro.core.replica import build_group
+from repro.crypto.costs import JAVA
+from repro.crypto.provider import CryptoProvider
+from repro.errors import ConfigurationError
+from repro.runtime.calibration import DEFAULT_CALIBRATION, CalibrationProfile
+from repro.services.coordination import CoordinationService
+from repro.services.counter import CounterService
+from repro.services.kvstore import KeyValueStore
+from repro.services.null import NullService
+from repro.sim.kernel import Simulator
+from repro.sim.network import GIGABIT_PER_SECOND, Network
+from repro.sim.process import Endpoint
+from repro.sim.resources import Machine
+from repro.sim.tracing import NULL_TRACER, Tracer
+
+PROTOCOLS = ("hybster-s", "hybster-x", "pbft", "hybrid-pbft", "minbft")
+
+SERVICES: dict[str, Callable] = {
+    "null": NullService,
+    "counter": CounterService,
+    "kv": KeyValueStore,
+    "coordination": CoordinationService,
+}
+
+
+@dataclass
+class DeploymentSpec:
+    """Everything needed to stand up one benchmark configuration."""
+
+    protocol: str = "hybster-x"
+    cores: int = 4
+    ht_enabled: bool = True
+    service: str = "null"
+    batch_size: int = 1
+    rotation: bool = False
+    num_clients: int = 16
+    client_window: int = 4
+    client_machines: int = 2
+    payload_size: int = 0
+    reply_payload_size: int = 0
+    checkpoint_interval: int = 128
+    window_size: int = 1024
+    noop_delay_ns: int = 500_000
+    workload_factory: Callable[[str, int], Workload] | None = None
+    calibration: CalibrationProfile = field(default_factory=lambda: DEFAULT_CALIBRATION)
+    nic_bandwidth: int = 4 * GIGABIT_PER_SECOND
+    latency_ns: int = 35_000
+
+    def make_workload(self, client_id: str, index: int) -> Workload:
+        if self.workload_factory is not None:
+            return self.workload_factory(client_id, index)
+        return NullWorkload(self.payload_size)
+
+
+@dataclass
+class Deployment:
+    """A built cluster, ready for `repro.runtime.benchmark.run_benchmark`."""
+
+    spec: DeploymentSpec
+    sim: Simulator
+    network: Network
+    replicas: list
+    replica_machines: list[Machine]
+    clients: list[Client]
+    client_machines: list[Machine]
+
+    def start_clients(self) -> None:
+        for client in self.clients:
+            client.start()
+
+    def total_completed(self) -> int:
+        return sum(client.completed for client in self.clients)
+
+
+def _replica_ids(protocol: str) -> tuple[str, ...]:
+    if protocol in ("pbft", "hybrid-pbft"):
+        return ("r0", "r1", "r2", "r3")
+    return ("r0", "r1", "r2")
+
+
+def _num_pillars(protocol: str, cores: int) -> int:
+    if protocol in ("hybster-s", "minbft"):
+        return 1
+    return cores
+
+
+def build_deployment(spec: DeploymentSpec, tracer: Tracer = NULL_TRACER) -> Deployment:
+    """Construct the simulated cluster for ``spec``."""
+    if spec.protocol not in PROTOCOLS:
+        raise ConfigurationError(f"unknown protocol {spec.protocol!r}; expected one of {PROTOCOLS}")
+    if spec.service not in SERVICES:
+        raise ConfigurationError(f"unknown service {spec.service!r}; expected one of {sorted(SERVICES)}")
+
+    sim = Simulator()
+    network = Network(sim, latency_ns=spec.latency_ns, default_bandwidth=spec.nic_bandwidth)
+    cal = spec.calibration
+
+    config = ReplicaGroupConfig(
+        replica_ids=_replica_ids(spec.protocol),
+        num_pillars=_num_pillars(spec.protocol, spec.cores),
+        batch_size=spec.batch_size,
+        rotation=spec.rotation,
+        checkpoint_interval=spec.checkpoint_interval,
+        window_size=spec.window_size,
+        noop_delay_ns=spec.noop_delay_ns,
+    )
+    machines = [
+        Machine(sim, rid, cores=spec.cores, ht_enabled=spec.ht_enabled)
+        for rid in config.replica_ids
+    ]
+    service_factory = SERVICES[spec.service]
+
+    if spec.protocol in ("hybster-s", "hybster-x"):
+        replicas = build_group(
+            sim, network, machines, config, service_factory,
+            reply_payload_size=spec.reply_payload_size, tracer=tracer,
+            message_base_cost_ns=cal.message_base_cost_ns,
+        )
+        stages = [
+            stage for replica in replicas for stage in replica.endpoint.stages.values()
+        ]
+    elif spec.protocol in ("pbft", "hybrid-pbft"):
+        cert_mode = TRUSTED_MACS if spec.protocol == "hybrid-pbft" else AUTHENTICATORS
+        replicas = build_pbft_group(
+            sim, network, machines, config, service_factory, cert_mode=cert_mode,
+            reply_payload_size=spec.reply_payload_size, tracer=tracer,
+            message_base_cost_ns=cal.message_base_cost_ns,
+        )
+        stages = [
+            stage for replica in replicas for stage in replica.endpoint.stages.values()
+        ]
+    else:  # minbft
+        replicas = build_minbft_group(
+            sim, network, machines, config, service_factory,
+            reply_payload_size=spec.reply_payload_size, tracer=tracer,
+            message_base_cost_ns=cal.message_base_cost_ns,
+        )
+        stages = list(replicas)
+
+    for stage in stages:
+        stage.send_cost_ns = cal.send_cost_ns
+        stage.control_send_cost_ns = cal.control_send_cost_ns
+        stage.local_send_cost_ns = cal.local_send_cost_ns
+
+    # ------------------------------------------------------------------
+    # Client machines (the paper dedicates two quad-core hosts)
+    # ------------------------------------------------------------------
+    client_machines = [
+        Machine(sim, f"clients{i}", cores=spec.cores, ht_enabled=spec.ht_enabled)
+        for i in range(spec.client_machines)
+    ]
+    endpoints = [Endpoint(sim, network, machine.name, tracer) for machine in client_machines]
+    threads = {machine.name: [] for machine in client_machines}
+    for machine in client_machines:
+        for t in range(machine.hardware_threads):
+            threads[machine.name].append(
+                machine.allocate_thread(f"cthread{t}", base_cost_ns=cal.client_base_cost_ns)
+            )
+
+    clients: list[Client] = []
+    for index in range(spec.num_clients):
+        machine_index = index % len(client_machines)
+        machine = client_machines[machine_index]
+        endpoint = endpoints[machine_index]
+        pool = threads[machine.name]
+        thread = pool[(index // len(client_machines)) % len(pool)]
+        name = f"c{index}"
+        client_id = f"{machine.name}:{name}"
+        client = Client(
+            endpoint,
+            thread,
+            config,
+            name,
+            spec.make_workload(client_id, index),
+            window=spec.client_window,
+            crypto=CryptoProvider(JAVA, charge=sim.charge),
+        )
+        client.send_cost_ns = cal.client_send_cost_ns
+        client.control_send_cost_ns = cal.client_send_cost_ns
+        clients.append(client)
+
+    return Deployment(
+        spec=spec,
+        sim=sim,
+        network=network,
+        replicas=replicas,
+        replica_machines=machines,
+        clients=clients,
+        client_machines=client_machines,
+    )

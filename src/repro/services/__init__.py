@@ -1,0 +1,30 @@
+"""Replicated application services.
+
+A service is the deterministic state machine the replication protocol
+keeps consistent.  The protocol interacts with it through the small
+interface in :mod:`repro.services.base`; everything else (reply caching,
+checkpoint digests) lives in the replication layer.
+
+* :class:`NullService` — returns empty results instantly; the
+  microbenchmark workload of §6.2/§6.3.
+* :class:`KeyValueStore` — a flat store, useful for examples and tests.
+* :class:`CounterService` — a tiny arithmetic machine whose value makes
+  divergence between replicas immediately visible in tests.
+* :class:`CoordinationService` — the ZooKeeper-inspired hierarchical
+  namespace of §6.4 (create/delete/set/get/children, strong consistency,
+  no read optimization).
+"""
+
+from repro.services.base import Service
+from repro.services.null import NullService
+from repro.services.kvstore import KeyValueStore
+from repro.services.counter import CounterService
+from repro.services.coordination import CoordinationService
+
+__all__ = [
+    "Service",
+    "NullService",
+    "KeyValueStore",
+    "CounterService",
+    "CoordinationService",
+]

@@ -1,0 +1,50 @@
+"""The service interface replicated state machines implement."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Service:
+    """A deterministic state machine.
+
+    Determinism contract: given the same sequence of :meth:`execute`
+    calls, every instance produces the same results and the same
+    :meth:`state_digestible` value.  Randomness, wall-clock time, and
+    local I/O are therefore forbidden inside implementations.
+    """
+
+    def execute(self, operation: Any, client_id: str) -> Any:
+        """Apply one operation and return its result.
+
+        Invalid operations must return an error *value* (deterministic),
+        never raise — a raising replica would diverge from the group.
+        """
+        raise NotImplementedError
+
+    def execution_cost_ns(self, operation: Any) -> int:
+        """Simulated CPU cost of executing ``operation`` (0 = negligible)."""
+        return 0
+
+    def reply_payload_size(self, operation: Any, result: Any) -> int:
+        """Bytes of service data the reply to ``operation`` carries."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Any:
+        """Return an opaque, immutable copy of the full state."""
+        raise NotImplementedError
+
+    def restore(self, snapshot: Any) -> None:
+        """Replace the state with a snapshot from :meth:`snapshot`."""
+        raise NotImplementedError
+
+    def snapshot_size(self) -> int:
+        """Approximate wire size of a snapshot, for the network model."""
+        raise NotImplementedError
+
+    def state_digestible(self) -> Any:
+        """Canonical representation of the state for checkpoint digests."""
+        raise NotImplementedError

@@ -1,0 +1,210 @@
+"""ZooKeeper-inspired coordination service (paper §6.4).
+
+The service offers a hierarchical namespace of *nodes*; clients create
+and destroy nodes and store data in them.  Unlike ZooKeeper, there is no
+read optimization: every operation — reads included — goes through the
+replication protocol, so the service is strongly consistent.
+
+Operations (tuples):
+
+* ``("create", path, data_size)``     → ("ok", version) | ("error", why)
+* ``("delete", path)``                → ("ok",) | ("error", why)
+* ``("set", path, data_size)``        → ("ok", version) | ("error", why)
+* ``("get", path)``                   → ("ok", data_size, version) | error
+* ``("children", path)``              → ("ok", names...) | error
+* ``("exists", path)``                → ("ok", True/False)
+
+Node payloads are modelled by their *size* (the benchmarks store 128-byte
+blobs); the logical content is irrelevant to the protocol and would only
+slow the simulation down.  Versions count modifications, like ZooKeeper's
+``version`` stat field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.services.base import Service
+
+CREATE_COST_NS = 900
+MODIFY_COST_NS = 700
+READ_COST_NS = 500
+
+
+@dataclass
+class _Node:
+    data_size: int
+    version: int
+    children: dict[str, "_Node"]
+
+
+class CoordinationService(Service):
+    """Hierarchical namespace with create/delete/set/get/children/exists."""
+
+    def __init__(self) -> None:
+        self._root = _Node(data_size=0, version=0, children={})
+        self.operations_applied = 0
+
+    # ------------------------------------------------------------------
+    # Path handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _split(path: str) -> list[str] | None:
+        if not isinstance(path, str) or not path.startswith("/"):
+            return None
+        if path == "/":
+            return []
+        parts = path[1:].split("/")
+        if any(part == "" for part in parts):
+            return None
+        return parts
+
+    def _find(self, parts: list[str]) -> _Node | None:
+        node = self._root
+        for part in parts:
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    # ------------------------------------------------------------------
+    # Service interface
+    # ------------------------------------------------------------------
+    def execute(self, operation: Any, client_id: str) -> Any:
+        self.operations_applied += 1
+        if not isinstance(operation, tuple) or not operation:
+            return ("error", "malformed operation")
+        action = operation[0]
+        if action == "create" and len(operation) == 3:
+            return self._create(operation[1], operation[2])
+        if action == "delete" and len(operation) == 2:
+            return self._delete(operation[1])
+        if action == "set" and len(operation) == 3:
+            return self._set(operation[1], operation[2])
+        if action == "get" and len(operation) == 2:
+            return self._get(operation[1])
+        if action == "children" and len(operation) == 2:
+            return self._children(operation[1])
+        if action == "exists" and len(operation) == 2:
+            parts = self._split(operation[1])
+            if parts is None:
+                return ("error", "invalid path")
+            return ("ok", self._find(parts) is not None)
+        return ("error", f"unknown operation {action!r}")
+
+    def reply_payload_size(self, operation: Any, result: Any) -> int:
+        # reads return the stored node data; everything else returns an ack
+        if (
+            isinstance(operation, tuple)
+            and operation
+            and operation[0] == "get"
+            and isinstance(result, tuple)
+            and result
+            and result[0] == "ok"
+        ):
+            return int(result[1])
+        return 0
+
+    def execution_cost_ns(self, operation: Any) -> int:
+        if not isinstance(operation, tuple) or not operation:
+            return READ_COST_NS
+        if operation[0] == "create":
+            return CREATE_COST_NS
+        if operation[0] in ("delete", "set"):
+            return MODIFY_COST_NS
+        return READ_COST_NS
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def _create(self, path: str, data_size: int) -> Any:
+        parts = self._split(path)
+        if parts is None or not parts:
+            return ("error", "invalid path")
+        parent = self._find(parts[:-1])
+        if parent is None:
+            return ("error", "no such parent")
+        name = parts[-1]
+        if name in parent.children:
+            return ("error", "node exists")
+        parent.children[name] = _Node(data_size=int(data_size), version=0, children={})
+        return ("ok", 0)
+
+    def _delete(self, path: str) -> Any:
+        parts = self._split(path)
+        if parts is None or not parts:
+            return ("error", "invalid path")
+        parent = self._find(parts[:-1])
+        if parent is None or parts[-1] not in parent.children:
+            return ("error", "no such node")
+        if parent.children[parts[-1]].children:
+            return ("error", "node has children")
+        del parent.children[parts[-1]]
+        return ("ok",)
+
+    def _set(self, path: str, data_size: int) -> Any:
+        parts = self._split(path)
+        if parts is None:
+            return ("error", "invalid path")
+        node = self._find(parts)
+        if node is None:
+            return ("error", "no such node")
+        node.data_size = int(data_size)
+        node.version += 1
+        return ("ok", node.version)
+
+    def _get(self, path: str) -> Any:
+        parts = self._split(path)
+        if parts is None:
+            return ("error", "invalid path")
+        node = self._find(parts)
+        if node is None:
+            return ("error", "no such node")
+        return ("ok", node.data_size, node.version)
+
+    def _children(self, path: str) -> Any:
+        parts = self._split(path)
+        if parts is None:
+            return ("error", "invalid path")
+        node = self._find(parts)
+        if node is None:
+            return ("error", "no such node")
+        return ("ok",) + tuple(sorted(node.children))
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Any:
+        return (self._freeze(self._root), self.operations_applied)
+
+    def restore(self, snapshot: Any) -> None:
+        frozen, applied = snapshot
+        self._root = self._thaw(frozen)
+        self.operations_applied = applied
+
+    def snapshot_size(self) -> int:
+        return self._size(self._root)
+
+    def state_digestible(self) -> Any:
+        return ("coordination", self._freeze(self._root), self.operations_applied)
+
+    @classmethod
+    def _freeze(cls, node: _Node) -> Any:
+        return (
+            node.data_size,
+            node.version,
+            tuple(sorted((name, cls._freeze(child)) for name, child in node.children.items())),
+        )
+
+    @classmethod
+    def _thaw(cls, frozen: Any) -> _Node:
+        data_size, version, children = frozen
+        return _Node(
+            data_size=data_size,
+            version=version,
+            children={name: cls._thaw(child) for name, child in children},
+        )
+
+    def _size(self, node: _Node) -> int:
+        return 24 + node.data_size + sum(len(n) + self._size(c) for n, c in node.children.items())

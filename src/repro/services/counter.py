@@ -1,0 +1,43 @@
+"""A minimal arithmetic service for divergence-sensitive tests.
+
+Because every operation's result depends on the full execution history
+(the running value), any ordering disagreement between replicas shows up
+as mismatching replies immediately — which is exactly what safety tests
+need to observe.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.services.base import Service
+
+
+class CounterService(Service):
+    """Operations: ("add", n) -> new value, ("read",) -> value."""
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.operations_applied = 0
+
+    def execute(self, operation: Any, client_id: str) -> Any:
+        self.operations_applied += 1
+        if isinstance(operation, tuple) and operation:
+            if operation[0] == "add" and len(operation) == 2:
+                self.value += operation[1]
+                return self.value
+            if operation[0] == "read" and len(operation) == 1:
+                return self.value
+        return ("error", "unknown operation")
+
+    def snapshot(self) -> Any:
+        return (self.value, self.operations_applied)
+
+    def restore(self, snapshot: Any) -> None:
+        self.value, self.operations_applied = snapshot
+
+    def snapshot_size(self) -> int:
+        return 16
+
+    def state_digestible(self) -> Any:
+        return ("counter", self.value, self.operations_applied)

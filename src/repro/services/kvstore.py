@@ -1,0 +1,67 @@
+"""A flat key-value store service.
+
+Operations are tuples:
+
+* ``("put", key, value)`` → previous value or None
+* ``("get", key)`` → value or None
+* ``("delete", key)`` → True if the key existed
+* ``("keys",)`` → sorted list of keys
+
+Used by examples and tests where observable state matters more than a
+realistic API surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.services.base import Service
+
+KV_OP_COST_NS = 500  # dictionary operation plus marshalling
+
+
+class KeyValueStore(Service):
+    """Deterministic dictionary with tuple-encoded operations."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+
+    def execute(self, operation: Any, client_id: str) -> Any:
+        if not isinstance(operation, tuple) or not operation:
+            return ("error", "malformed operation")
+        action = operation[0]
+        if action == "put" and len(operation) == 3:
+            key, value = operation[1], operation[2]
+            previous = self._data.get(key)
+            self._data[key] = value
+            return previous
+        if action == "get" and len(operation) == 2:
+            return self._data.get(operation[1])
+        if action == "delete" and len(operation) == 2:
+            return self._data.pop(operation[1], None) is not None
+        if action == "keys" and len(operation) == 1:
+            return sorted(self._data)
+        return ("error", f"unknown operation {action!r}")
+
+    def execution_cost_ns(self, operation: Any) -> int:
+        return KV_OP_COST_NS
+
+    def snapshot(self) -> Any:
+        return dict(self._data)
+
+    def restore(self, snapshot: Any) -> None:
+        self._data = dict(snapshot)
+
+    def snapshot_size(self) -> int:
+        return 32 + sum(len(str(k)) + len(str(v)) + 8 for k, v in self._data.items())
+
+    def state_digestible(self) -> Any:
+        return ("kv", tuple(sorted((k, _digestible_value(v)) for k, v in self._data.items())))
+
+
+def _digestible_value(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_digestible_value(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _digestible_value(v)) for k, v in value.items()))
+    return value

@@ -1,0 +1,32 @@
+"""The microbenchmark service: no state, empty results, zero cost.
+
+Matches the paper's §6.2/§6.3 workload, where replies carry either no
+payload or a fixed-size dummy payload; the payload size travels in the
+Request/Reply size model, not in the service.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.services.base import Service
+
+
+class NullService(Service):
+    """Returns ``None`` for every operation without touching any state."""
+
+    def execute(self, operation: Any, client_id: str) -> Any:
+        return None
+
+    def snapshot(self) -> Any:
+        return None
+
+    def restore(self, snapshot: Any) -> None:
+        if snapshot is not None:
+            raise ValueError("NullService snapshots are always None")
+
+    def snapshot_size(self) -> int:
+        return 0
+
+    def state_digestible(self) -> Any:
+        return ("null",)

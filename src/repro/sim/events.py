@@ -1,0 +1,89 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, sequence)`` where the sequence number is a
+monotonically increasing insertion counter.  Ties in time are therefore
+resolved in FIFO order, which keeps simulations deterministic without any
+dependence on callback identity or hash ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`repro.sim.kernel.Simulator.schedule`
+    and may be cancelled via :meth:`cancel` before they fire.  Cancelled
+    events stay in the heap but are skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback.  Called by the kernel only."""
+        self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq}{state} {getattr(self.callback, '__qualname__', self.callback)}>"
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time: int, callback: Callable[..., None], args: tuple[Any, ...] = ()) -> Event:
+        """Insert a new event and return its handle."""
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop() from an empty event queue")
+
+    def peek_time(self) -> int | None:
+        """Return the timestamp of the next live event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Account for an externally cancelled event (keeps __len__ honest)."""
+        self._live -= 1

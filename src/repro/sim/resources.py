@@ -1,0 +1,224 @@
+"""CPU resource model: machines, cores, and simulated hardware threads.
+
+The paper's testbed machines have an Intel i7-6700 — four cores at 3.4 GHz
+with Hyper-Threading enabled.  We model a machine as a set of cores, each
+exposing up to two *hardware threads*.  A software thread (pillar, client
+stage, execution stage, ...) is pinned to one hardware thread.
+
+Hyper-threading is modelled dynamically: a handler runs at full core
+speed while the sibling hardware thread idles and at ``ht_efficiency``
+of it while the sibling is busy (default 0.65, i.e. a fully loaded core
+delivers 1.3 cores worth of work — matching the commonly measured
+25-35 % SMT benefit and the paper's sub-linear thread scaling).
+
+Each :class:`SimThread` is a non-preemptive FIFO server: handlers submitted
+to it run to completion in submission order, occupying the thread for their
+reported CPU cost divided by the thread speed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+
+DEFAULT_HT_EFFICIENCY = 0.65
+
+
+class CostMeter:
+    """Accumulates CPU cost reported by code running inside a handler."""
+
+    __slots__ = ("total_ns",)
+
+    def __init__(self) -> None:
+        self.total_ns = 0
+
+    def add(self, cost_ns: int) -> None:
+        self.total_ns += cost_ns
+
+    def reset(self) -> int:
+        """Return the accumulated cost and reset the meter."""
+        total = self.total_ns
+        self.total_ns = 0
+        return total
+
+
+class SimThread:
+    """A software thread pinned to one simulated hardware thread.
+
+    Work arrives via :meth:`submit` as ``(handler, arg)`` pairs.  The
+    handler runs logically at its start time; the CPU cost it reports via
+    ``sim.charge`` (plus an optional fixed ``base_cost_ns`` per handler)
+    determines how long the thread stays busy.  Actions the handler defers
+    through :meth:`after_busy` (typically network sends) take effect at the
+    moment the busy period ends, so downstream replicas never observe
+    messages earlier than the sender could have produced them.
+
+    Hyper-threading is dynamic: when the sibling hardware thread on the
+    same core is busy at the start of a handler, the handler runs at
+    ``ht_efficiency`` of full speed; when the sibling idles, the thread
+    gets the whole core — matching how real SMT cores behave.
+    """
+
+    def __init__(self, sim: Simulator, name: str, speed: float = 1.0, base_cost_ns: int = 0):
+        if speed <= 0:
+            raise ConfigurationError(f"thread speed must be positive, got {speed}")
+        self.sim = sim
+        self.name = name
+        self.speed = speed
+        self.base_cost_ns = base_cost_ns
+        self.sibling: "SimThread | None" = None
+        self.sibling_penalty = 1.0  # speed multiplier while the sibling is busy
+        self._mailbox: deque[tuple[Callable[[Any], None], Any]] = deque()
+        self._busy = False
+        self._meter = CostMeter()
+        self._deferred: list[Callable[[], None]] = []
+        self.busy_ns = 0
+        self.handlers_run = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, handler: Callable[[Any], None], arg: Any = None) -> None:
+        """Enqueue a handler invocation on this thread."""
+        self._mailbox.append((handler, arg))
+        if not self._busy:
+            self._busy = True
+            self.sim.schedule(0, self._run_next)
+
+    def after_busy(self, action: Callable[[], None]) -> None:
+        """Defer ``action`` until the current handler's busy period ends.
+
+        Must only be called from within a handler running on this thread.
+        """
+        self._deferred.append(action)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of handlers waiting (excluding the one running)."""
+        return len(self._mailbox)
+
+    @property
+    def busy_now(self) -> bool:
+        return self._busy
+
+    def _current_speed(self) -> float:
+        if self.sibling is not None and self.sibling._busy:
+            return self.speed * self.sibling_penalty
+        return self.speed
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of ``elapsed_ns`` this thread spent busy."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / elapsed_ns)
+
+    # ------------------------------------------------------------------
+    def _run_next(self) -> None:
+        if not self._mailbox:
+            self._busy = False
+            return
+        handler, arg = self._mailbox.popleft()
+        previous_meter = self.sim.active_meter
+        self.sim.active_meter = self._meter
+        self._deferred = []
+        try:
+            handler(arg)
+        finally:
+            self.sim.active_meter = previous_meter
+        cost_ns = self._meter.reset() + self.base_cost_ns
+        busy_ns = int(round(cost_ns / self._current_speed()))
+        self.busy_ns += busy_ns
+        self.handlers_run += 1
+        deferred = self._deferred
+        self._deferred = []
+        self.sim.schedule(busy_ns, self._finish, deferred)
+
+    def _finish(self, deferred: list[Callable[[], None]]) -> None:
+        for action in deferred:
+            action()
+        self._run_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimThread {self.name} speed={self.speed:.2f} queued={len(self._mailbox)}>"
+
+
+class Core:
+    """A physical core exposing up to two hardware-thread slots."""
+
+    def __init__(self, index: int, ht_enabled: bool = True):
+        self.index = index
+        self.ht_enabled = ht_enabled
+        self.slots_used = 0
+
+    @property
+    def capacity(self) -> int:
+        return 2 if self.ht_enabled else 1
+
+
+class Machine:
+    """A simulated host: cores plus a speed model for pinned threads.
+
+    ``allocate_thread`` pins software threads to hardware-thread slots in
+    a fill-cores-first order (one thread per core before doubling up),
+    mirroring how the prototype pins its pillars.  Sibling relationships
+    are fixed at allocation time; allocate all threads before running.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cores: int = 4,
+        ht_enabled: bool = True,
+        ht_efficiency: float = DEFAULT_HT_EFFICIENCY,
+    ):
+        if cores < 1:
+            raise ConfigurationError(f"machine needs at least one core, got {cores}")
+        if not 0.5 <= ht_efficiency <= 1.0:
+            raise ConfigurationError(f"ht_efficiency must be in [0.5, 1.0], got {ht_efficiency}")
+        self.sim = sim
+        self.name = name
+        self.cores = [Core(i, ht_enabled) for i in range(cores)]
+        self.ht_efficiency = ht_efficiency
+        self.threads: list[SimThread] = []
+        self._assignments: list[Core] = []
+
+    @property
+    def hardware_threads(self) -> int:
+        return sum(core.capacity for core in self.cores)
+
+    def allocate_thread(self, name: str, base_cost_ns: int = 0) -> SimThread:
+        """Pin a new software thread to the least-loaded core."""
+        core = min(self.cores, key=lambda c: (c.slots_used, c.index))
+        if core.slots_used >= core.capacity:
+            raise ConfigurationError(
+                f"machine {self.name} is out of hardware threads "
+                f"({self.hardware_threads} available, {len(self.threads)} allocated)"
+            )
+        core.slots_used += 1
+        thread = SimThread(self.sim, f"{self.name}/{name}", speed=1.0, base_cost_ns=base_cost_ns)
+        self.threads.append(thread)
+        self._assignments.append(core)
+        self._recompute_speeds()
+        return thread
+
+    def _recompute_speeds(self) -> None:
+        by_core: dict[int, list[SimThread]] = {}
+        for thread, core in zip(self.threads, self._assignments):
+            by_core.setdefault(core.index, []).append(thread)
+        for threads in by_core.values():
+            if len(threads) == 1:
+                threads[0].sibling = None
+                threads[0].sibling_penalty = 1.0
+            else:
+                first, second = threads[0], threads[1]
+                first.sibling, second.sibling = second, first
+                first.sibling_penalty = self.ht_efficiency
+                second.sibling_penalty = self.ht_efficiency
+
+    def total_utilization(self, elapsed_ns: int) -> float:
+        """Average busy fraction across all allocated threads."""
+        if not self.threads:
+            return 0.0
+        return sum(t.utilization(elapsed_ns) for t in self.threads) / len(self.threads)

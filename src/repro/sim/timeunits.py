@@ -1,0 +1,44 @@
+"""Time units for the simulation kernel.
+
+The simulator clock is an integer number of nanoseconds.  Integers keep the
+event queue ordering exact and the simulation bit-for-bit deterministic;
+floating-point seconds are only used at the measurement boundary (reports,
+statistics) via :func:`ns_to_seconds`.
+"""
+
+from __future__ import annotations
+
+NANOSECOND: int = 1
+MICROSECOND: int = 1_000
+MILLISECOND: int = 1_000_000
+SECOND: int = 1_000_000_000
+
+
+def seconds_to_ns(seconds: float) -> int:
+    """Convert (possibly fractional) seconds to integer nanoseconds."""
+    return int(round(seconds * SECOND))
+
+
+def us_to_ns(micros: float) -> int:
+    """Convert (possibly fractional) microseconds to integer nanoseconds."""
+    return int(round(micros * MICROSECOND))
+
+
+def ms_to_ns(millis: float) -> int:
+    """Convert (possibly fractional) milliseconds to integer nanoseconds."""
+    return int(round(millis * MILLISECOND))
+
+
+def ns_to_seconds(nanos: int) -> float:
+    """Convert integer nanoseconds to floating-point seconds."""
+    return nanos / SECOND
+
+
+def ns_to_us(nanos: int) -> float:
+    """Convert integer nanoseconds to floating-point microseconds."""
+    return nanos / MICROSECOND
+
+
+def ns_to_ms(nanos: int) -> float:
+    """Convert integer nanoseconds to floating-point milliseconds."""
+    return nanos / MILLISECOND

@@ -1,0 +1,57 @@
+"""Structured event tracing for debugging and integration tests.
+
+A :class:`Tracer` records ``(time, node, category, detail)`` tuples.
+Protocol stages emit traces through their runtime context; tests assert on
+recorded sequences (e.g. the exact Figure-3 view-change unfolding) and the
+CLI can dump a readable timeline.  Tracing is off by default and costless
+when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time_ns: int
+    node: str
+    category: str
+    detail: Any
+
+    def __str__(self) -> str:
+        return f"[{self.time_ns / 1e6:12.3f} ms] {self.node:<12} {self.category:<18} {self.detail}"
+
+
+class Tracer:
+    """Collects trace records; disabled tracers drop everything."""
+
+    def __init__(self, enabled: bool = True, categories: set[str] | None = None):
+        self.enabled = enabled
+        self.categories = categories
+        self.records: list[TraceRecord] = []
+
+    def emit(self, time_ns: int, node: str, category: str, detail: Any = None) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time_ns, node, category, detail))
+
+    def select(self, category: str | None = None, node: str | None = None) -> Iterator[TraceRecord]:
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if node is not None and record.node != node:
+                continue
+            yield record
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def dump(self) -> str:
+        return "\n".join(str(record) for record in self.records)
+
+
+NULL_TRACER = Tracer(enabled=False)

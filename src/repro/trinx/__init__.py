@@ -1,0 +1,36 @@
+"""TrInX — the SGX-based trusted counter subsystem (paper §5.1).
+
+TrInX tailors TrInc for Hybster: a small enclave holding a set of
+monotonic counters and a group-wide secret key, able to issue four kinds
+of certificates over outgoing messages:
+
+* **continuing** counter certificates ``tau(tss, tc, tv', tv)`` — include
+  the previous counter value, forcing a replica to account for every value
+  in between (the view-change protocol's anchor);
+* **independent** counter certificates ``tau(tss, tc, tv', -)`` — strictly
+  increasing, hence at most one valid certificate per counter value (the
+  equivocation-prevention mechanism of the ordering protocol);
+* **multi-counter** certificates — one MAC attesting several counters;
+* **trusted MACs** — continuing certificates with ``tv' == tv``: cheap
+  non-repudiable replacements for digital signatures.
+
+The enclave is simulated in software: unforgeability is real (HMAC-SHA256
+under a sealed group secret), monotonicity is enforced, rollback of sealed
+state is refused, and every call is charged the calibrated SGX cost
+(mode switch + in-enclave TCrypto hash + counter update, ≈ 4.15 µs for
+32-byte messages ≈ the paper's 240 k certifications/s per instance).
+"""
+
+from repro.trinx.certificates import CounterCertificate, MultiCounterCertificate
+from repro.trinx.enclave import EnclavePlatform, SealedState
+from repro.trinx.trinx import TrInX
+from repro.trinx.multi import MultiTrInX
+
+__all__ = [
+    "CounterCertificate",
+    "MultiCounterCertificate",
+    "EnclavePlatform",
+    "SealedState",
+    "TrInX",
+    "MultiTrInX",
+]

@@ -1,0 +1,70 @@
+"""Certificate datatypes issued by TrInX instances.
+
+Certificates are plain values: they travel inside protocol messages and
+are verified by *any* TrInX instance holding the group secret.  The MAC
+binds exactly the fields the paper lists — issuing instance id, counter
+id, new value, previous value (continuing only), and the message itself —
+so tests can exercise forgery and substitution attacks field by field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CONTINUING = "continuing"
+INDEPENDENT = "independent"
+
+MAC_SIZE = 32
+CERT_HEADER_SIZE = 24  # issuer id, counter id, values (wire encoding estimate)
+
+
+@dataclass(frozen=True)
+class CounterCertificate:
+    """A certificate over one trusted counter.
+
+    ``previous_value`` is the counter value before this certification for
+    continuing certificates, and ``None`` for independent certificates
+    (which promise only that ``new_value`` was fresh and strictly higher
+    than everything certified before on that counter).
+    """
+
+    issuer: str
+    counter: int
+    new_value: int
+    previous_value: int | None
+    mac: bytes
+
+    @property
+    def kind(self) -> str:
+        return INDEPENDENT if self.previous_value is None else CONTINUING
+
+    @property
+    def is_trusted_mac(self) -> bool:
+        """Trusted MACs are continuing certificates that left the counter alone."""
+        return self.previous_value is not None and self.previous_value == self.new_value
+
+    def wire_size(self) -> int:
+        return CERT_HEADER_SIZE + MAC_SIZE
+
+
+@dataclass(frozen=True)
+class MultiCounterCertificate:
+    """One MAC attesting the state transition of several counters.
+
+    ``entries`` maps counter id to ``(new_value, previous_value)`` with
+    ``previous_value`` None for independent entries.  Used by pillars to
+    prove the state of all their counters with a single enclave call.
+    """
+
+    issuer: str
+    entries: tuple[tuple[int, int, int | None], ...]
+    mac: bytes
+
+    def wire_size(self) -> int:
+        return CERT_HEADER_SIZE + MAC_SIZE + 16 * len(self.entries)
+
+    def value_of(self, counter: int) -> int | None:
+        for counter_id, new_value, _previous in self.entries:
+            if counter_id == counter:
+                return new_value
+        return None

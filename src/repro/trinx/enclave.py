@@ -1,0 +1,116 @@
+"""Software model of the trusted execution environment.
+
+An :class:`EnclavePlatform` stands in for the SGX-capable CPU of one
+machine.  It launches enclaves, seals their state, and — like the paper
+assumes of the execution platform — prevents undetected *replay attacks*
+in which an adversary restarts an enclave from a stale copy of its sealed
+state to roll trusted counters back:
+
+* sealed state carries a monotonic version number,
+* the platform remembers the newest version sealed per enclave identity,
+* launching from anything older raises :class:`ReplayProtectionError`.
+
+The platform also owns the cost accounting for crossing into the trusted
+execution environment.  Every enclave call charges the SGX mode switch
+plus the in-enclave TCrypto hash to the simulated CPU via the ``charge``
+callable (usually ``Simulator.charge``); pure-logic tests pass ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crypto.costs import COUNTER_UPDATE_NS, JNI_CROSSING_NS, SGX_SWITCH_NS, TCRYPTO
+from repro.errors import ReplayProtectionError, SealedKeyMismatchError
+
+
+@dataclass(frozen=True)
+class SealedState:
+    """Counter state sealed to the platform, as SGX sealing would produce.
+
+    The payload is only readable by enclaves of the same identity on the
+    same platform; we model that by keeping it opaque to protocol code
+    (nothing outside this module inspects ``counters``).
+    """
+
+    enclave_id: str
+    version: int
+    counters: tuple[int, ...]
+    group_secret: bytes
+
+
+class EnclavePlatform:
+    """Launch point and replay guard for the enclaves of one machine.
+
+    ``charge`` receives nanosecond costs for every enclave call; the
+    optional ``via_jni`` flag adds the Java-to-native crossing the paper's
+    prototype pays (its replicas are written in Java, TrInX in C/C++).
+    """
+
+    def __init__(self, charge: Callable[[int], None] | None = None, via_jni: bool = False):
+        self.charge = charge
+        self.via_jni = via_jni
+        self._latest_versions: dict[str, int] = {}
+        self.calls = 0
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    def enter_call_cost_ns(self, message_size: int) -> int:
+        """Cost of one certification/verification call into the enclave."""
+        cost = SGX_SWITCH_NS + TCRYPTO.op_ns(message_size) + COUNTER_UPDATE_NS
+        if self.via_jni:
+            cost += JNI_CROSSING_NS
+        return cost
+
+    def account_call(self, message_size: int, extra_ns: int = 0) -> None:
+        """Charge one enclave call against the simulated CPU."""
+        self.calls += 1
+        if self.charge is not None:
+            self.charge(self.enter_call_cost_ns(message_size) + extra_ns)
+
+    # ------------------------------------------------------------------
+    # Sealing and replay protection
+    # ------------------------------------------------------------------
+    def seal(self, enclave_id: str, counters: tuple[int, ...], group_secret: bytes) -> SealedState:
+        """Produce sealed state for ``enclave_id`` and advance its version."""
+        version = self._latest_versions.get(enclave_id, 0) + 1
+        self._latest_versions[enclave_id] = version
+        return SealedState(enclave_id, version, counters, group_secret)
+
+    def check_unseal(self, state: SealedState) -> None:
+        """Refuse to launch from sealed state that is not the newest.
+
+        This is the monotonic-version check the paper assumes the platform
+        performs to prevent resetting a trusted subsystem.
+        """
+        latest = self._latest_versions.get(state.enclave_id)
+        if latest is None:
+            # first launch on this platform: adopt the version
+            self._latest_versions[state.enclave_id] = state.version
+            return
+        if state.version < latest:
+            raise ReplayProtectionError(
+                f"stale sealed state for {state.enclave_id!r}: "
+                f"version {state.version} < latest {latest}"
+            )
+        self._latest_versions[state.enclave_id] = state.version
+
+
+@dataclass
+class GroupConfiguration:
+    """Out-of-band provisioning a trusted administrator performs once.
+
+    All TrInX instances of a replica group share the same secret; the
+    administrator also fixes how many counters each instance provides.
+    Instance ids are public knowledge (part of the group configuration).
+    """
+
+    group_secret: bytes
+    counters_per_instance: int = 4
+    instance_ids: list[str] = field(default_factory=list)
+
+    def validate_secret(self, secret: bytes) -> None:
+        if secret != self.group_secret:
+            raise SealedKeyMismatchError("instance provisioned with a different group secret")

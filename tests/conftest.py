@@ -1,0 +1,99 @@
+"""Shared fixtures and helpers for the protocol test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clients.client import Client
+from repro.clients.workload import NullWorkload, Workload
+from repro.core.config import ReplicaGroupConfig
+from repro.core.replica import build_group
+from repro.services.counter import CounterService
+from repro.services.kvstore import KeyValueStore
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Endpoint
+from repro.sim.resources import Machine
+
+MS = 1_000_000
+
+
+class Harness:
+    """A small, fully wired Hybster cluster for integration tests."""
+
+    def __init__(
+        self,
+        num_pillars: int = 1,
+        service_factory=CounterService,
+        rotation: bool = False,
+        checkpoint_interval: int = 8,
+        window_size: int = 16,
+        batch_size: int = 1,
+        n: int = 3,
+    ):
+        self.sim = Simulator()
+        self.network = Network(self.sim)
+        self.config = ReplicaGroupConfig(
+            replica_ids=tuple(f"r{i}" for i in range(n)),
+            num_pillars=num_pillars,
+            rotation=rotation,
+            checkpoint_interval=checkpoint_interval,
+            window_size=window_size,
+            batch_size=batch_size,
+        )
+        self.machines = [Machine(self.sim, rid, cores=4) for rid in self.config.replica_ids]
+        self.replicas = build_group(self.sim, self.network, self.machines, self.config, service_factory)
+        self.client_machine = Machine(self.sim, "clients", cores=4)
+        self.client_endpoint = Endpoint(self.sim, self.network, "clients")
+        self.clients: list[Client] = []
+
+    def add_client(self, workload: Workload | None = None, window: int = 1) -> Client:
+        index = len(self.clients)
+        client = Client(
+            self.client_endpoint,
+            self.client_machine.allocate_thread(f"c{index}"),
+            self.config,
+            f"c{index}",
+            workload or NullWorkload(),
+            window=window,
+        )
+        self.clients.append(client)
+        return client
+
+    def run(self, ms: float) -> None:
+        self.sim.run(until=self.sim.now + int(ms * MS))
+
+    def start_clients(self) -> None:
+        for client in self.clients:
+            client.start()
+
+    def drain(self, ms: float = 100) -> None:
+        """Stop the load and let in-flight instances finish."""
+        for client in self.clients:
+            client.stop()
+        self.run(ms)
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return sum(client.completed for client in self.clients)
+
+    def service_states(self) -> list:
+        return [replica.service.state_digestible() for replica in self.replicas]
+
+    def assert_replicas_consistent(self) -> None:
+        states = self.service_states()
+        assert len({str(state) for state in states}) == 1, f"replicas diverged: {states}"
+
+    def views(self) -> list[int]:
+        return [replica.current_view for replica in self.replicas]
+
+
+@pytest.fixture
+def harness():
+    return Harness()
+
+
+@pytest.fixture
+def kv_harness():
+    return Harness(service_factory=KeyValueStore, num_pillars=2)

@@ -1,0 +1,160 @@
+"""Unit tests for the replica-group configuration and fault-model math."""
+
+import pytest
+
+from repro.core.config import COUNTER_M, COUNTER_O, ReplicaGroupConfig
+from repro.errors import ConfigurationError
+
+
+def make(n=3, **kwargs):
+    return ReplicaGroupConfig(replica_ids=tuple(f"r{i}" for i in range(n)), **kwargs)
+
+
+class TestFaultModel:
+    def test_canonical_three_replica_group(self):
+        config = make(3)
+        assert config.n == 3
+        assert config.f == 1
+        assert config.quorum_size == 2
+
+    def test_five_replica_group(self):
+        config = make(5)
+        assert config.f == 2
+        assert config.quorum_size == 3
+
+    def test_seven_replica_group(self):
+        config = make(7)
+        assert config.f == 3
+        assert config.quorum_size == 4
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 9])
+    def test_quorum_conditions(self, n):
+        config = make(n)
+        q, f = config.quorum_size, config.f
+        assert 2 * q > n  # any two quorums intersect
+        assert n >= q + f  # correct replicas can form a quorum
+        assert q > f  # every quorum contains a correct replica
+
+    def test_too_few_replicas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplicaGroupConfig(replica_ids=("a", "b"))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplicaGroupConfig(replica_ids=("a", "a", "b"))
+
+    def test_window_must_cover_two_checkpoints(self):
+        with pytest.raises(ConfigurationError):
+            make(3, checkpoint_interval=100, window_size=150)
+
+
+class TestRoles:
+    def test_primary_rotates_with_view(self):
+        config = make(3)
+        assert config.primary_of_view(0) == "r0"
+        assert config.primary_of_view(1) == "r1"
+        assert config.primary_of_view(2) == "r2"
+        assert config.primary_of_view(3) == "r0"
+
+    def test_fixed_leader_proposes_everything(self):
+        config = make(3, rotation=False)
+        assert all(config.proposer_of(0, o) == "r0" for o in range(1, 30))
+        assert all(config.proposer_of(1, o) == "r1" for o in range(1, 30))
+
+    def test_rotation_spreads_proposers(self):
+        config = make(3, rotation=True, num_pillars=4)
+        proposers = {config.proposer_of(0, o) for o in range(1, 40)}
+        assert proposers == {"r0", "r1", "r2"}
+
+    def test_rotation_covers_every_pillar_for_every_replica(self):
+        # the regression that stalled PBFTcop: with P == n the old per-order
+        # mapping confined each replica to a single pillar
+        config = ReplicaGroupConfig(
+            replica_ids=("r0", "r1", "r2", "r3"), rotation=True, num_pillars=4
+        )
+        for replica in config.replica_ids:
+            assert config.proposing_pillars(replica, 0) == [0, 1, 2, 3]
+
+    def test_fixed_leader_proposing_pillars(self):
+        config = make(3, num_pillars=4)
+        assert config.proposing_pillars("r0", 0) == [0, 1, 2, 3]
+        assert config.proposing_pillars("r1", 0) == []
+
+    def test_pillar_of_order_partition(self):
+        config = make(3, num_pillars=4)
+        for order in range(1, 100):
+            assert config.pillar_of_order(order) == order % 4
+
+    def test_client_routing_fixed_leader(self):
+        config = make(3)
+        assert config.proposer_replica_for_client("any-client", 0) == "r0"
+        assert config.proposer_replica_for_client("any-client", 1) == "r1"
+
+    def test_client_routing_rotation_is_stable_partition(self):
+        config = make(3, rotation=True)
+        buckets = {config.proposer_replica_for_client(f"c{i}", 0) for i in range(50)}
+        assert buckets == {"r0", "r1", "r2"}
+        # deterministic across calls
+        assert (
+            config.proposer_replica_for_client("c7", 0)
+            == config.proposer_replica_for_client("c7", 0)
+        )
+
+
+class TestLanes:
+    def test_fixed_leader_single_lane(self):
+        config = make(3, num_pillars=2)
+        assert config.num_lanes == 1
+        assert config.lane_of(0, 17) == 0
+        assert config.lane_stride == 2
+        assert config.mac_counter == 1
+        assert config.counters_per_instance == 2
+
+    def test_rotation_one_lane_per_replica(self):
+        config = make(3, rotation=True, num_pillars=4)
+        assert config.num_lanes == 3
+        assert config.mac_counter == 3
+        assert config.counters_per_instance == 4
+        assert config.lane_stride == 12
+
+    def test_lane_equals_proposer_index(self):
+        config = make(3, rotation=True, num_pillars=4)
+        for view in (0, 1, 5):
+            for order in range(1, 60):
+                lane = config.lane_of(view, order)
+                assert config.replica_ids[lane] == config.proposer_of(view, order)
+
+    def test_lane_constant_within_class_stride(self):
+        config = make(3, rotation=True, num_pillars=4)
+        for order in range(1, 40):
+            assert config.lane_of(0, order) == config.lane_of(0, order + config.lane_stride)
+
+    def test_counter_layout(self):
+        config = make(3, rotation=True, num_pillars=2)
+        assert [config.ordering_counter(lane) for lane in range(3)] == [0, 1, 2]
+        assert config.mac_counter == 3
+        # the default layout constants describe the fixed-leader case
+        fixed = make(3)
+        assert fixed.ordering_counter(0) == COUNTER_O
+        assert fixed.mac_counter == COUNTER_M
+
+
+class TestCheckpoints:
+    def test_boundaries_on_interval_multiples(self):
+        config = make(3, checkpoint_interval=8, window_size=16)
+        assert [o for o in range(1, 33) if config.is_checkpoint_boundary(o)] == [8, 16, 24, 32]
+
+    def test_checkpoint_numbering(self):
+        config = make(3, checkpoint_interval=8, window_size=16)
+        assert config.checkpoint_number(8) == 1
+        assert config.checkpoint_number(16) == 2
+
+    def test_shared_checkpointing_round_robin(self):
+        config = make(3, checkpoint_interval=8, window_size=16, num_pillars=3)
+        pillars = [config.checkpoint_pillar(o) for o in (8, 16, 24, 32)]
+        assert pillars == [1, 2, 0, 1]
+
+    def test_trinx_instance_ids_are_public_knowledge(self):
+        config = make(3, num_pillars=2)
+        assert config.trinx_instance_id("r1", 0) == "r1/tss0"
+        assert config.trinx_instance_id("r2", 1) == "r2/tss1"

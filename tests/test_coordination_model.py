@@ -1,0 +1,120 @@
+"""Model-based testing: CoordinationService against a reference model.
+
+A flat-dictionary reference model executes the same random operation
+sequences; any divergence in results or final state indicates a bug in
+the hierarchical implementation.  Determinism across two service
+instances is also checked — the property replication correctness rests on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.services.coordination import CoordinationService
+
+
+class ReferenceModel:
+    """Flat-path reference implementation of the coordination API."""
+
+    def __init__(self):
+        self.nodes = {"": (0, 0)}  # path -> (data_size, version); "" is the root
+
+    @staticmethod
+    def _valid(path):
+        return isinstance(path, str) and path.startswith("/") and (
+            path == "/" or not any(part == "" for part in path[1:].split("/"))
+        )
+
+    def _key(self, path):
+        return "" if path == "/" else path
+
+    def execute(self, operation):
+        action = operation[0]
+        path = operation[1]
+        if not self._valid(path):
+            return ("error", "invalid path")
+        key = self._key(path)
+        if action == "create":
+            if path == "/":
+                return ("error", "invalid path")
+            parent = key.rsplit("/", 1)[0]
+            if parent not in self.nodes:
+                return ("error", "no such parent")
+            if key in self.nodes:
+                return ("error", "node exists")
+            self.nodes[key] = (int(operation[2]), 0)
+            return ("ok", 0)
+        if action == "delete":
+            if path == "/":
+                return ("error", "invalid path")
+            if key not in self.nodes:
+                return ("error", "no such node")
+            if any(other.startswith(key + "/") for other in self.nodes):
+                return ("error", "node has children")
+            del self.nodes[key]
+            return ("ok",)
+        if action == "set":
+            if key not in self.nodes:
+                return ("error", "no such node")
+            size, version = self.nodes[key]
+            self.nodes[key] = (int(operation[2]), version + 1)
+            return ("ok", version + 1)
+        if action == "get":
+            if key not in self.nodes:
+                return ("error", "no such node")
+            size, version = self.nodes[key]
+            return ("ok", size, version)
+        if action == "children":
+            if key not in self.nodes:
+                return ("error", "no such node")
+            prefix = key + "/"
+            names = sorted(
+                other[len(prefix):]
+                for other in self.nodes
+                if other.startswith(prefix) and "/" not in other[len(prefix):]
+            )
+            return ("ok",) + tuple(names)
+        if action == "exists":
+            return ("ok", key in self.nodes)
+        raise AssertionError(f"unknown action {action}")
+
+
+names = st.sampled_from(["a", "b", "c", "d"])
+paths = st.lists(names, min_size=1, max_size=3).map(lambda parts: "/" + "/".join(parts))
+operations = st.one_of(
+    st.tuples(st.just("create"), paths, st.integers(min_value=0, max_value=256)),
+    st.tuples(st.just("delete"), paths),
+    st.tuples(st.just("set"), paths, st.integers(min_value=0, max_value=256)),
+    st.tuples(st.just("get"), paths),
+    st.tuples(st.just("children"), paths),
+    st.tuples(st.just("exists"), paths),
+    st.tuples(st.just("children"), st.just("/")),
+)
+
+
+class TestAgainstReference:
+    @given(st.lists(operations, max_size=40))
+    @settings(max_examples=100)
+    def test_every_result_matches_the_model(self, sequence):
+        service = CoordinationService()
+        model = ReferenceModel()
+        for operation in sequence:
+            assert service.execute(operation, "c") == model.execute(operation)
+
+    @given(st.lists(operations, max_size=40))
+    @settings(max_examples=50)
+    def test_determinism_across_instances(self, sequence):
+        a, b = CoordinationService(), CoordinationService()
+        for operation in sequence:
+            assert a.execute(operation, "x") == b.execute(operation, "y")
+        assert a.state_digestible() == b.state_digestible()
+
+    @given(st.lists(operations, max_size=30))
+    @settings(max_examples=50)
+    def test_snapshot_roundtrip_preserves_behaviour(self, sequence):
+        service = CoordinationService()
+        for operation in sequence:
+            service.execute(operation, "c")
+        clone = CoordinationService()
+        clone.restore(service.snapshot())
+        probe = ("children", "/")
+        assert clone.execute(probe, "c") == service.execute(probe, "c")
+        assert clone.state_digestible() == service.state_digestible()

@@ -1,0 +1,143 @@
+"""Unit tests for the view-change coordinator's state machine."""
+
+from repro.messages.internal import RequestVc, StateInstalled
+from repro.messages.viewchange import ViewChange
+from tests.conftest import Harness
+
+
+def coordinator(harness, index=0):
+    return harness.replicas[index].coordinator
+
+
+class TestAbortRules:
+    def test_initial_state(self, harness):
+        c = coordinator(harness)
+        assert c.stable_view == 0
+        assert c.pending_view is None
+        assert c.last_accepted_view == 0
+
+    def test_allowed_progression(self, harness):
+        c = coordinator(harness)
+        assert c._allowed(1)
+        assert not c._allowed(0)
+        assert not c._allowed(2)
+
+    def test_request_vc_drives_a_full_view_change(self, harness):
+        c = coordinator(harness)
+        c.on_message(("r0", "x"), RequestVc("test", 0))
+        harness.run(5)
+        # the suspicion propagated: the whole group moved to view 1
+        assert c.stable_view == 1
+        assert c.pending_view is None
+        assert harness.views() == [1, 1, 1]
+
+    def test_stale_suspicion_ignored(self, harness):
+        c = coordinator(harness)
+        c.stable_view = 3
+        c.last_accepted_view = 3
+        c.on_message(("r0", "x"), RequestVc("stale", suspected_view=1))
+        harness.run(5)
+        assert c.pending_view is None
+
+    def test_resend_only_never_starts_a_view_change(self, harness):
+        c = coordinator(harness)
+        c.on_message(("r0", "x"), RequestVc("nudge", 0, resend_only=True))
+        harness.run(5)
+        assert c.pending_view is None
+
+    def test_stale_request_vc_after_install_is_ignored(self, harness):
+        c = coordinator(harness)
+        c.on_message(("r0", "x"), RequestVc("first", 0))
+        harness.run(5)
+        assert c.stable_view == 1
+        # a straggler suspicion about view 0 must not trigger another change
+        c.on_message(("r0", "x"), RequestVc("stale", suspected_view=0))
+        harness.run(5)
+        assert c.stable_view == 1
+
+    def test_obsolete_collection_discarded_after_install(self, harness):
+        """The race that once regressed pillar counters: a NEW-VIEW installs
+        while unit collection for the same view is still in flight."""
+        c = coordinator(harness)
+        c._collecting = (1, {})
+        c.stable_view = 1  # the view established itself meanwhile
+        c.last_accepted_view = 1
+        from repro.messages.internal import UnitVc
+
+        c.on_message(("r0", "pillar0"), UnitVc(0, 1, 0, ()))
+        harness.run(5)
+        assert c.pending_view is None  # no VcReady was issued
+
+
+class TestPrepareAbsorption:
+    def test_known_prepares_keep_newest_view(self, harness):
+        from repro.messages.ordering import Prepare
+
+        c = coordinator(harness)
+        old = Prepare(0, 5, (), "r0")
+        new = Prepare(1, 5, (), "r1")
+        c._absorb_prepares([old])
+        c._absorb_prepares([new])
+        c._absorb_prepares([old])  # older view must not overwrite
+        assert c.known_prepares[5].view == 1
+
+    def test_absorption_respects_checkpoint(self, harness):
+        from repro.messages.ordering import Prepare
+
+        c = coordinator(harness)
+        c.checkpoint_order = 10
+        c._absorb_prepares([Prepare(0, 5, (), "r0")])
+        assert 5 not in c.known_prepares
+
+    def test_note_checkpoint_prunes(self, harness):
+        from repro.messages.ordering import Prepare
+
+        c = coordinator(harness)
+        c._absorb_prepares([Prepare(0, 5, (), "r0"), Prepare(0, 15, (), "r0")])
+        c.note_checkpoint(10, ())
+        assert list(c.known_prepares) == [15]
+
+    def test_note_checkpoint_monotone(self, harness):
+        c = coordinator(harness)
+        c.note_checkpoint(10, ("cert-a",))
+        c.note_checkpoint(5, ("cert-b",))
+        assert c.checkpoint_order == 10
+        assert c.checkpoint_certificate == ("cert-a",)
+
+
+class TestStateTransferBookkeeping:
+    def test_transfer_deduplicated(self, harness):
+        c = coordinator(harness)
+        c._start_state_transfer(16, "r1")
+        assert c._transfer_in_flight == 16
+        c._start_state_transfer(8, "r2")  # lower: ignored
+        assert c._transfer_in_flight == 16
+
+    def test_transfer_to_unknown_source_aborts_cleanly(self, harness):
+        c = coordinator(harness)
+        c._start_state_transfer(16, "not-a-replica")
+        assert c._transfer_in_flight is None
+
+    def test_stale_target_skipped(self, harness):
+        c = coordinator(harness)
+        c.note_checkpoint(20, ())
+        c._start_state_transfer(16, "r1")
+        assert c._transfer_in_flight is None
+
+    def test_failed_install_clears_in_flight(self, harness):
+        c = coordinator(harness)
+        c._transfer_in_flight = 16
+        c.on_message(("r0", "exec"), StateInstalled(16, success=False))
+        assert c._transfer_in_flight is None
+
+
+class TestGarbageCollection:
+    def test_artifacts_of_superseded_views_dropped(self, harness):
+        c = coordinator(harness)
+        c._vc_store[(1, "r1")] = object()
+        c._combined_vcs[1] = {}
+        c._nv_store[1] = object()
+        c._garbage_collect(installed_view=2)
+        assert not c._vc_store
+        assert not c._combined_vcs
+        assert not c._nv_store

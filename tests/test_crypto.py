@@ -1,0 +1,187 @@
+"""Unit tests for digests, MACs, authenticators, and cost profiles."""
+
+import pytest
+
+from repro.crypto.authenticators import Authenticator, AuthenticatorFactory
+from repro.crypto.costs import (
+    JAVA,
+    OPENSSL,
+    TCRYPTO,
+    CryptoCostProfile,
+    trinx_certification_ns,
+)
+from repro.crypto.digests import canonical_bytes, digest, digest_hex
+from repro.crypto.mac import compute_mac, session_key, verify_mac
+from repro.crypto.provider import CryptoProvider
+
+
+class TestCanonicalBytes:
+    def test_same_value_same_bytes(self):
+        assert canonical_bytes(("a", 1, None)) == canonical_bytes(("a", 1, None))
+
+    def test_type_tags_prevent_collisions(self):
+        assert canonical_bytes(b"1") != canonical_bytes("1")
+        assert canonical_bytes(1) != canonical_bytes("1")
+        assert canonical_bytes(True) != canonical_bytes(1)
+        assert canonical_bytes(None) != canonical_bytes(0)
+
+    def test_list_and_tuple_equivalent(self):
+        assert canonical_bytes([1, 2]) == canonical_bytes((1, 2))
+
+    def test_nesting_changes_encoding(self):
+        assert canonical_bytes((1, (2, 3))) != canonical_bytes((1, 2, 3))
+
+    def test_dict_order_independent(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+    def test_frozenset_order_independent(self):
+        assert canonical_bytes(frozenset([1, 2, 3])) == canonical_bytes(frozenset([3, 2, 1]))
+
+    def test_float_roundtrip_stable(self):
+        assert canonical_bytes(0.1) == canonical_bytes(0.1)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+    def test_digestible_protocol_used(self):
+        class Obj:
+            def digestible(self):
+                return ("obj", 42)
+
+        assert canonical_bytes(Obj()) == canonical_bytes(("obj", 42))
+
+
+class TestDigest:
+    def test_deterministic(self):
+        assert digest(("x", 1)) == digest(("x", 1))
+
+    def test_distinct_inputs_distinct_digests(self):
+        assert digest("a") != digest("b")
+
+    def test_length(self):
+        assert len(digest("anything")) == 32
+
+    def test_hex_matches(self):
+        assert digest_hex("v") == digest("v").hex()
+
+
+class TestMac:
+    KEY = b"k" * 32
+
+    def test_roundtrip(self):
+        tag = compute_mac(self.KEY, ("msg", 7))
+        assert verify_mac(self.KEY, ("msg", 7), tag)
+
+    def test_wrong_key_fails(self):
+        tag = compute_mac(self.KEY, "msg")
+        assert not verify_mac(b"x" * 32, "msg", tag)
+
+    def test_tampered_data_fails(self):
+        tag = compute_mac(self.KEY, "msg")
+        assert not verify_mac(self.KEY, "msG", tag)
+
+    def test_session_key_symmetric(self):
+        secret = b"s" * 32
+        assert session_key(secret, "r0", "r1") == session_key(secret, "r1", "r0")
+
+    def test_session_key_pair_specific(self):
+        secret = b"s" * 32
+        assert session_key(secret, "r0", "r1") != session_key(secret, "r0", "r2")
+
+
+class TestCostProfiles:
+    def test_32_byte_ordering_matches_paper(self):
+        # TCrypto 20% slower than Java, 40% slower than OpenSSL (throughput)
+        t_openssl = OPENSSL.op_ns(32)
+        t_java = JAVA.op_ns(32)
+        t_tcrypto = TCRYPTO.op_ns(32)
+        assert t_openssl < t_java < t_tcrypto
+        assert 0.78 < t_java / t_tcrypto < 0.82  # Java ~80% of TCrypto cost
+        assert 0.58 < t_openssl / t_tcrypto < 0.62  # OpenSSL ~60%
+
+    def test_tcrypto_overtakes_java_for_large_messages(self):
+        assert TCRYPTO.op_ns(32) > JAVA.op_ns(32)
+        assert TCRYPTO.op_ns(4096) < JAVA.op_ns(4096)
+
+    def test_trinx_certification_rate_near_240k(self):
+        per_cert = trinx_certification_ns(32)
+        rate = 1e9 / per_cert
+        assert 230_000 < rate < 250_000
+
+    def test_jni_adds_crossing_cost(self):
+        assert trinx_certification_ns(32, via_jni=True) - trinx_certification_ns(32) == 300
+
+    def test_custom_profile(self):
+        profile = CryptoCostProfile("x", base_ns=100, per_byte_ns=1.0)
+        assert profile.op_ns(50) == 150
+
+
+class TestCryptoProvider:
+    def test_charges_cost(self):
+        charged = []
+        provider = CryptoProvider(profile=JAVA, charge=charged.append)
+        provider.digest("data", size_hint=32)
+        assert charged == [JAVA.op_ns(32)]
+
+    def test_no_charge_without_callback(self):
+        provider = CryptoProvider()
+        provider.digest("data")  # must not raise
+        assert provider.ops == 1
+
+    def test_mac_roundtrip_with_accounting(self):
+        provider = CryptoProvider()
+        tag = provider.compute_mac(b"k" * 32, "m")
+        assert provider.verify_mac(b"k" * 32, "m", tag)
+        assert provider.ops == 2
+
+    def test_size_hint_overrides_serialized_size(self):
+        charged = []
+        provider = CryptoProvider(profile=JAVA, charge=charged.append)
+        provider.digest("tiny", size_hint=4096)
+        assert charged == [JAVA.op_ns(4096)]
+
+
+class TestAuthenticators:
+    SECRET = b"g" * 32
+
+    def make_factory(self, who):
+        return AuthenticatorFactory(who, self.SECRET, CryptoProvider())
+
+    def test_create_and_verify(self):
+        sender = self.make_factory("r0")
+        receiver = self.make_factory("r1")
+        auth = sender.create(["r1", "r2", "r3"], ("prepare", 5))
+        assert receiver.verify(auth, ("prepare", 5))
+
+    def test_one_mac_per_receiver(self):
+        sender = self.make_factory("r0")
+        auth = sender.create(["r1", "r2", "r3"], "m")
+        assert set(auth.macs) == {"r1", "r2", "r3"}
+        assert sender.provider.ops == 3
+
+    def test_non_addressee_cannot_verify(self):
+        sender = self.make_factory("r0")
+        outsider = self.make_factory("r9")
+        auth = sender.create(["r1"], "m")
+        assert not outsider.verify(auth, "m")
+
+    def test_tampered_message_rejected(self):
+        sender = self.make_factory("r0")
+        receiver = self.make_factory("r1")
+        auth = sender.create(["r1"], "m")
+        assert not receiver.verify(auth, "evil")
+
+    def test_faulty_authenticator_partial_validity(self):
+        # A Byzantine sender can craft an authenticator that verifies at one
+        # receiver but not another — the classic PBFT weakness trusted MACs fix.
+        sender = self.make_factory("r0")
+        good = sender.create(["r1", "r2"], "m")
+        bad = Authenticator("r0", {"r1": good.macs["r1"], "r2": b"\x00" * 32})
+        assert self.make_factory("r1").verify(bad, "m")
+        assert not self.make_factory("r2").verify(bad, "m")
+
+    def test_wire_size_scales_with_group(self):
+        sender = self.make_factory("r0")
+        assert sender.create(["r1"], "m").wire_size() == 32
+        assert sender.create(["r1", "r2", "r3"], "m").wire_size() == 96

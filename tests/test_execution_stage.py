@@ -1,0 +1,173 @@
+"""Unit tests for the execution stage (ordered delivery, replies, snapshots)."""
+
+from repro.core.config import ReplicaGroupConfig
+from repro.core.execution import ExecutionStage, ReplierStage
+from repro.crypto.provider import CryptoProvider
+from repro.messages.client import Reply, Request
+from repro.messages.internal import CkReached, ExecRequest, ReplyJob, StateInstall
+from repro.services.counter import CounterService
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Endpoint, Stage
+from repro.sim.resources import Machine
+
+
+class Sink(Stage):
+    def __init__(self, endpoint, thread, name):
+        super().__init__(endpoint, thread, name)
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append(message)
+
+
+def build_exec(num_pillars=2, checkpoint_interval=4, window=8):
+    sim = Simulator()
+    network = Network(sim)
+    config = ReplicaGroupConfig(
+        replica_ids=("r0", "r1", "r2"),
+        num_pillars=num_pillars,
+        checkpoint_interval=checkpoint_interval,
+        window_size=window,
+    )
+    machine = Machine(sim, "r0", cores=4)
+    endpoint = Endpoint(sim, network, "r0")
+    execution = ExecutionStage(
+        endpoint, machine.allocate_thread("exec"), config, "r0",
+        CounterService(), CryptoProvider(),
+    )
+    pillars = [Sink(endpoint, machine.allocate_thread(f"p{i}"), f"pillar{i}") for i in range(num_pillars)]
+    handler = Sink(endpoint, machine.allocate_thread("handler"), "handler")
+    execution.pillar_addresses = [("r0", f"pillar{i}") for i in range(num_pillars)]
+    execution.handler_address = ("r0", "handler")
+    # a client endpoint so replies have somewhere to go
+    client_machine = Machine(sim, "cl", cores=1)
+    client_endpoint = Endpoint(sim, network, "cl")
+    Sink(client_endpoint, client_machine.allocate_thread("c0"), "c0")
+    return sim, execution, pillars, handler
+
+
+def request(order, amount=1, client="cl:c0"):
+    return Request(client, order, ("add", amount))
+
+
+class TestOrderedDelivery:
+    def test_in_order_execution(self):
+        sim, execution, _pillars, _handler = build_exec()
+        for order in (1, 2, 3):
+            execution._enqueue(("r0", "pillar0"), ExecRequest(order, 0, (request(order),)))
+        sim.run(until=sim.now + 20_000_000)
+        assert execution.next_order == 4
+        assert execution.service.value == 3
+
+    def test_gaps_buffered_until_filled(self):
+        sim, execution, _pillars, _handler = build_exec()
+        execution._enqueue(("r0", "pillar0"), ExecRequest(2, 0, (request(2),)))
+        sim.run(until=sim.now + 20_000_000)
+        assert execution.next_order == 1  # stalled: order 1 missing
+        execution._enqueue(("r0", "pillar1"), ExecRequest(1, 0, (request(1),)))
+        sim.run(until=sim.now + 20_000_000)
+        assert execution.next_order == 3
+
+    def test_duplicates_ignored(self):
+        sim, execution, _pillars, _handler = build_exec()
+        execution._enqueue(("r0", "pillar0"), ExecRequest(1, 0, (request(1),)))
+        sim.run(until=sim.now + 20_000_000)
+        execution._enqueue(("r0", "pillar0"), ExecRequest(1, 1, (request(1, amount=100),)))
+        sim.run(until=sim.now + 20_000_000)
+        assert execution.service.value == 1  # re-commit did not re-execute
+
+    def test_handler_notified_of_executed_keys(self):
+        sim, execution, _pillars, handler = build_exec()
+        execution._enqueue(("r0", "pillar0"), ExecRequest(1, 0, (request(1),)))
+        sim.run(until=sim.now + 20_000_000)
+        executed = [m for m in handler.received if type(m).__name__ == "Executed"]
+        assert executed and executed[0].keys == (("cl:c0", 1),)
+
+    def test_gap_triggers_fill_gap_to_owning_pillar(self):
+        sim, execution, pillars, _handler = build_exec(num_pillars=2)
+        execution._enqueue(("r0", "pillar0"), ExecRequest(2, 0, (request(2),)))
+        sim.run(until=50_000_000)
+        fills = [m for m in pillars[1].received if type(m).__name__ == "FillGap"]
+        assert fills and fills[0].order == 1  # order 1 belongs to pillar 1
+
+
+class TestCheckpointing:
+    def test_boundary_sends_ck_reached_to_responsible_pillar(self):
+        sim, execution, pillars, _handler = build_exec(num_pillars=2, checkpoint_interval=4)
+        for order in range(1, 5):
+            execution._enqueue(("r0", "p"), ExecRequest(order, 0, (request(order),)))
+        sim.run(until=sim.now + 20_000_000)
+        # checkpoint 1 (order 4) is run by pillar 1 mod 2
+        reached = [m for m in pillars[1].received if isinstance(m, CkReached)]
+        assert reached and reached[0].order == 4
+
+    def test_digest_covers_state_and_replies(self):
+        sim, execution, pillars, _handler = build_exec(num_pillars=1, checkpoint_interval=2)
+        execution._enqueue(("r0", "p"), ExecRequest(1, 0, (request(1),)))
+        execution._enqueue(("r0", "p"), ExecRequest(2, 0, (request(2),)))
+        sim.run(until=sim.now + 20_000_000)
+        first = [m for m in pillars[0].received if isinstance(m, CkReached)][0]
+        # a different history must produce a different digest
+        sim2, execution2, pillars2, _h = build_exec(num_pillars=1, checkpoint_interval=2)
+        execution2._enqueue(("r0", "p"), ExecRequest(1, 0, (request(1, amount=5),)))
+        execution2._enqueue(("r0", "p"), ExecRequest(2, 0, (request(2),)))
+        sim2.run(until=sim2.now + 20_000_000)
+        other = [m for m in pillars2[0].received if isinstance(m, CkReached)][0]
+        assert first.state_digest != other.state_digest
+
+
+class TestStateInstall:
+    def test_install_jumps_execution_forward(self):
+        sim, execution, _pillars, _handler = build_exec()
+        donor = CounterService()
+        donor.execute(("add", 42), "cl:c0")
+        execution._enqueue(
+            ("r0", "pillar0"),
+            StateInstall(8, donor.snapshot(), (("cl:c0", 3, 42),), None),
+        )
+        sim.run(until=sim.now + 20_000_000)
+        assert execution.next_order == 9
+        assert execution.service.value == 42
+        assert execution.reply_cache_entry("cl:c0") == (3, 42)
+
+    def test_install_with_wrong_digest_rolls_back(self):
+        sim, execution, _pillars, _handler = build_exec()
+        execution._enqueue(("r0", "pillar0"), ExecRequest(1, 0, (request(1),)))
+        sim.run(until=sim.now + 20_000_000)
+        donor = CounterService()
+        donor.execute(("add", 999), "evil")
+        execution._enqueue(
+            ("r0", "pillar0"),
+            StateInstall(8, donor.snapshot(), (), b"not-the-right-digest" + b"0" * 12),
+        )
+        sim.run(until=sim.now + 20_000_000)
+        assert execution.service.value == 1  # rolled back
+        assert execution.next_order == 2
+
+    def test_stale_install_ignored(self):
+        sim, execution, _pillars, _handler = build_exec()
+        for order in range(1, 6):
+            execution._enqueue(("r0", "p"), ExecRequest(order, 0, (request(order),)))
+        sim.run(until=sim.now + 20_000_000)
+        donor = CounterService()
+        execution._enqueue(("r0", "p"), StateInstall(2, donor.snapshot(), (), None))
+        sim.run(until=sim.now + 20_000_000)
+        assert execution.service.value == 5  # unchanged
+
+
+class TestReplier:
+    def test_replier_transmits_each_reply(self):
+        sim = Simulator()
+        network = Network(sim)
+        machine = Machine(sim, "r0", cores=2)
+        endpoint = Endpoint(sim, network, "r0")
+        replier = ReplierStage(endpoint, machine.allocate_thread("rep"), CryptoProvider(), "replier0")
+        client_machine = Machine(sim, "cl", cores=1)
+        client_endpoint = Endpoint(sim, network, "cl")
+        sink = Sink(client_endpoint, client_machine.allocate_thread("c"), "c0")
+        replies = tuple(Reply("r0", "cl:c0", i, 0, None) for i in range(3))
+        replier._enqueue(("r0", "exec"), ReplyJob(replies))
+        sim.run(until=sim.now + 20_000_000)
+        assert len(sink.received) == 3
+        assert replier.replies_sent == 3

@@ -1,0 +1,41 @@
+"""Tests for the experiment runner CLI and fast experiment paths."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.figure5a import measure_variant
+from repro.experiments.trinx_micro import single_thread_rate
+
+
+class TestRunnerCli:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["nope"])
+
+    def test_trinx_experiment_runs(self, capsys):
+        assert runner.main(["trinx", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "TrInX" in out and "CASH" in out
+
+    def test_scale_argument_validated(self):
+        with pytest.raises(SystemExit):
+            runner.main(["trinx", "--scale", "huge"])
+
+
+class TestFigure5aPrimitives:
+    def test_measure_variant_returns_rate(self):
+        rate = measure_variant("Java", cores=1, measure_ns=500_000)
+        assert rate > 100_000
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(KeyError):
+            measure_variant("Blake3", cores=1, measure_ns=100_000)
+
+    def test_single_thread_rates(self):
+        trinx = single_thread_rate("trinx", measure_ns=1_000_000)
+        cash = single_thread_rate("cash", measure_ns=1_000_000)
+        assert trinx > 5 * cash
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            single_thread_rate("hsm")

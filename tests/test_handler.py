@@ -1,0 +1,142 @@
+"""Unit tests for the client handler stage (ingress, dedup, suspicion)."""
+
+from repro.core.config import ReplicaGroupConfig
+from repro.core.handler import ClientHandler
+from repro.crypto.provider import CryptoProvider
+from repro.messages.client import Request, RequestBurst
+from repro.messages.internal import Executed, OrderRequest, ReplyJob, RequestVc, ViewInstalled
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Endpoint, Stage
+from repro.sim.resources import Machine
+
+
+class Sink(Stage):
+    def __init__(self, endpoint, thread, name):
+        super().__init__(endpoint, thread, name)
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append(message)
+
+
+def build_handler(replica_id="r0", num_pillars=2):
+    sim = Simulator()
+    network = Network(sim)
+    config = ReplicaGroupConfig(
+        replica_ids=("r0", "r1", "r2"),
+        num_pillars=num_pillars,
+        checkpoint_interval=8,
+        window_size=16,
+    )
+    machine = Machine(sim, replica_id, cores=4)
+    endpoint = Endpoint(sim, network, replica_id)
+    handler = ClientHandler(
+        endpoint, machine.allocate_thread("handler"), config, replica_id, CryptoProvider()
+    )
+    pillars = [Sink(endpoint, machine.allocate_thread(f"p{i}"), f"pillar{i}") for i in range(num_pillars)]
+    coordinator = Sink(endpoint, machine.allocate_thread("coord"), "coordinator")
+    handler.pillar_addresses = [(replica_id, f"pillar{i}") for i in range(num_pillars)]
+    handler.coordinator_address = (replica_id, "coordinator")
+    return sim, handler, pillars, coordinator
+
+
+def request(request_id, client="cl:c0"):
+    return Request(client, request_id, None)
+
+
+def orders(pillar):
+    return [m for m in pillar.received if isinstance(m, OrderRequest)]
+
+
+class TestIngress:
+    def test_leader_routes_to_pillars_round_robin(self):
+        sim, handler, pillars, _ = build_handler()
+        for i in range(4):
+            handler._enqueue(("cl", f"c{i}"), request(0, client=f"cl:c{i}"))
+        sim.run()
+        assert len(orders(pillars[0])) == 2
+        assert len(orders(pillars[1])) == 2
+
+    def test_duplicates_dropped(self):
+        sim, handler, pillars, _ = build_handler()
+        handler._enqueue(("cl", "c0"), request(1))
+        handler._enqueue(("cl", "c0"), request(1))
+        sim.run()
+        assert len(orders(pillars[0])) + len(orders(pillars[1])) == 1
+        assert handler.duplicates_dropped == 1
+
+    def test_burst_unpacked(self):
+        sim, handler, pillars, _ = build_handler()
+        burst = RequestBurst(tuple(request(i) for i in range(3)))
+        handler._enqueue(("cl", "c0"), burst)
+        sim.run()
+        assert len(orders(pillars[0])) + len(orders(pillars[1])) == 3
+
+    def test_executed_requests_served_from_cache(self):
+        sim, handler, pillars, _ = build_handler()
+        exec_sink = Sink(handler.endpoint, handler.thread, "exec")
+        handler.exec_address = ("r0", "exec")
+        handler._enqueue(("r0", "exec"), Executed((("cl:c0", 5),)))
+        handler._enqueue(("cl", "c0"), request(3))  # below the watermark
+        sim.run()
+        assert not orders(pillars[0]) and not orders(pillars[1])
+        assert any(type(m).__name__ == "ReReply" for m in exec_sink.received)
+
+
+class TestFollowerSuspicion:
+    def test_follower_arms_timer_and_suspects(self):
+        sim, handler, _pillars, coordinator = build_handler(replica_id="r1")
+        handler._enqueue(("cl", "c0"), request(1))
+        sim.run(until=400_000_000)
+        suspicions = [m for m in coordinator.received if isinstance(m, RequestVc)]
+        assert len(suspicions) == 1  # fires once, not repeatedly
+
+    def test_execution_clears_the_timer(self):
+        sim, handler, _pillars, coordinator = build_handler(replica_id="r1")
+        handler._enqueue(("cl", "c0"), request(1))
+        sim.run(until=50_000_000)
+        handler._enqueue(("r1", "exec"), Executed((("cl:c0", 1),)))
+        sim.run(until=500_000_000)
+        assert not [m for m in coordinator.received if isinstance(m, RequestVc)]
+
+    def test_watermark_jump_clears_stale_entries(self):
+        sim, handler, _pillars, coordinator = build_handler(replica_id="r1")
+        for i in range(1, 4):
+            handler._enqueue(("cl", "c0"), request(i))
+        sim.run(until=10_000_000)
+        assert len(handler._in_flight) == 3
+        # a state transfer reveals the client progressed to request 10
+        handler._enqueue(("r1", "exec"), Executed((("cl:c0", 10),)))
+        sim.run(until=500_000_000)
+        assert len(handler._in_flight) == 0
+        assert not [m for m in coordinator.received if isinstance(m, RequestVc)]
+
+
+class TestViewInstallation:
+    def test_becoming_proposer_orders_watched_requests(self):
+        sim, handler, pillars, _ = build_handler(replica_id="r1")
+        handler._enqueue(("cl", "c0"), request(1))
+        sim.run(until=10_000_000)
+        assert not orders(pillars[0])
+        handler._enqueue(("r1", "coord"), ViewInstalled(1))  # r1 leads view 1
+        sim.run(until=20_000_000)
+        assert len(orders(pillars[0])) + len(orders(pillars[1])) == 1
+
+    def test_covered_requests_not_reordered(self):
+        sim, handler, pillars, _ = build_handler(replica_id="r1")
+        handler._enqueue(("cl", "c0"), request(1))
+        sim.run(until=10_000_000)
+        handler._enqueue(("r1", "coord"), ViewInstalled(1, covered_keys=(("cl:c0", 1),)))
+        sim.run(until=20_000_000)
+        assert not orders(pillars[0]) and not orders(pillars[1])
+
+    def test_staying_follower_rearms_timer(self):
+        sim, handler, _pillars, coordinator = build_handler(replica_id="r2")
+        handler._enqueue(("cl", "c0"), request(1))
+        sim.run(until=10_000_000)
+        handler._enqueue(("r2", "coord"), ViewInstalled(1))  # r1 leads, not us
+        sim.run(until=600_000_000)
+        suspicions = [m for m in coordinator.received if isinstance(m, RequestVc)]
+        assert len(suspicions) >= 1
+        assert all(s.suspected_view == 1 for s in suspicions)

@@ -1,0 +1,171 @@
+"""Unit tests for protocol message types: digests, sizes, structure."""
+
+from repro.messages.base import MESSAGE_HEADER_SIZE
+from repro.messages.checkpointing import Checkpoint
+from repro.messages.client import Reply, Request, RequestBurst
+from repro.messages.internal import ExecRequest, NvStable, VcReady
+from repro.messages.ordering import Commit, InstanceFetch, Prepare
+from repro.messages.statetransfer import StateRequest, StateResponse
+from repro.messages.viewchange import NewView, NewViewAck, ViewChange
+from repro.trinx.certificates import CounterCertificate
+
+
+def cert(value=5):
+    return CounterCertificate("r0/tss0", 0, value, None, b"m" * 32)
+
+
+class TestRequest:
+    def test_payload_dominates_wire_size(self):
+        small = Request("c0", 1, None, payload_size=0)
+        large = Request("c0", 1, None, payload_size=1024)
+        assert large.wire_size() - small.wire_size() == 1024
+
+    def test_mac_adds_32_bytes(self):
+        without = Request("c0", 1, None)
+        with_mac = Request("c0", 1, None, mac=b"m" * 32)
+        assert with_mac.wire_size() - without.wire_size() == 32
+
+    def test_digest_covers_operation(self):
+        a = Request("c0", 1, ("put", "k", 1))
+        b = Request("c0", 1, ("put", "k", 2))
+        assert a.digestible() != b.digestible()
+
+    def test_key_identifies_request(self):
+        assert Request("c0", 7, None).key == ("c0", 7)
+
+    def test_operation_size_estimates(self):
+        nested = Request("c0", 1, ("op", ["a", "b"], {"k": 1}))
+        assert nested.wire_size() > Request("c0", 1, None).wire_size()
+
+
+class TestReply:
+    def test_match_key_is_result_based(self):
+        a = Reply("r0", "c0", 1, 0, [1, 2])
+        b = Reply("r1", "c0", 1, 0, [1, 2])
+        assert a.match_key == b.match_key  # replica identity irrelevant
+
+    def test_match_key_differs_on_result(self):
+        a = Reply("r0", "c0", 1, 0, "x")
+        b = Reply("r1", "c0", 1, 0, "y")
+        assert a.match_key != b.match_key
+
+    def test_unhashable_results_are_frozen(self):
+        reply = Reply("r0", "c0", 1, 0, {"k": [1, 2]})
+        hash(reply.match_key)  # must not raise
+
+    def test_result_size_counted(self):
+        small = Reply("r0", "c0", 1, 0, None, result_size=0)
+        large = Reply("r0", "c0", 1, 0, None, result_size=1024)
+        assert large.wire_size() - small.wire_size() == 1024
+
+
+class TestRequestBurst:
+    def test_wire_size_is_sum_plus_header(self):
+        requests = tuple(Request("c0", i, None) for i in range(3))
+        burst = RequestBurst(requests)
+        assert burst.wire_size() == MESSAGE_HEADER_SIZE + sum(r.wire_size() for r in requests)
+
+
+class TestOrderingMessages:
+    def test_prepare_digest_covers_assignment(self):
+        request = Request("c0", 1, "op")
+        a = Prepare(0, 5, (request,), "r0")
+        b = Prepare(0, 6, (request,), "r0")
+        c = Prepare(1, 5, (request,), "r0")
+        assert len({a.digestible(), b.digestible(), c.digestible()}) == 3
+
+    def test_reproposal_flag_changes_digest(self):
+        request = Request("c0", 1, "op")
+        normal = Prepare(1, 5, (request,), "r0")
+        reproposal = Prepare(1, 5, (request,), "r0", reproposal=True)
+        assert normal.digestible() != reproposal.digestible()
+
+    def test_proposal_digestible_excludes_sender(self):
+        request = Request("c0", 1, "op")
+        a = Prepare(0, 5, (request,), "r0")
+        b = Prepare(0, 5, (request,), "r1")
+        assert a.proposal_digestible() == b.proposal_digestible()
+
+    def test_noop_detection(self):
+        assert Prepare(0, 5, (), "r0").is_noop
+        assert not Prepare(0, 5, (Request("c0", 1, None),), "r0").is_noop
+
+    def test_prepare_wire_size_includes_batch_and_cert(self):
+        requests = tuple(Request("c0", i, None, payload_size=100) for i in range(4))
+        bare = Prepare(0, 5, requests, "r0")
+        certified = Prepare(0, 5, requests, "r0", certificate=cert())
+        assert certified.wire_size() > bare.wire_size() > 400
+
+    def test_commit_binds_proposal_digest(self):
+        a = Commit(0, 5, "r1", b"a" * 32)
+        b = Commit(0, 5, "r1", b"b" * 32)
+        assert a.digestible() != b.digestible()
+
+    def test_instance_fetch_is_tiny(self):
+        assert InstanceFetch(5, 0).wire_size() < 64
+
+
+class TestCheckpointMessages:
+    def test_agreement_key_excludes_sender(self):
+        a = Checkpoint(8, "r0", b"s" * 32)
+        b = Checkpoint(8, "r1", b"s" * 32)
+        assert a.agreement_key() == b.agreement_key()
+        assert a.digestible() != b.digestible()
+
+
+class TestViewChangeMessages:
+    def test_view_change_key(self):
+        vc = ViewChange("r1", 0, 1, 0, (), ())
+        assert vc.key == ("r1", 1)
+
+    def test_view_change_digest_covers_prepares(self):
+        prepare = Prepare(0, 5, (), "r0", certificate=cert())
+        a = ViewChange("r1", 0, 1, 0, (), ())
+        b = ViewChange("r1", 0, 1, 0, (), (prepare,))
+        assert a.digestible() != b.digestible()
+
+    def test_split_parts_have_distinct_digests(self):
+        a = ViewChange("r1", 0, 1, 0, (), (), pillar=0, num_parts=2)
+        b = ViewChange("r1", 0, 1, 0, (), (), pillar=1, num_parts=2)
+        assert a.digestible() != b.digestible()
+
+    def test_new_view_size_includes_certificate(self):
+        vc = ViewChange("r1", 0, 1, 0, (), (), certificate=cert())
+        nv_empty = NewView("r1", 1, 0, 0, (), (), (), ())
+        nv_full = NewView("r1", 1, 0, 0, (), (vc,), (), ())
+        assert nv_full.wire_size() > nv_empty.wire_size()
+
+    def test_ack_carries_prepares(self):
+        prepare = Prepare(1, 5, (), "r1", certificate=cert())
+        ack = NewViewAck("r0", 1, (prepare,))
+        assert ack.wire_size() > NewViewAck("r0", 1, ()).wire_size()
+
+
+class TestStateTransferMessages:
+    def test_response_sized_by_snapshot(self):
+        small = StateResponse("r0", 8, (), ("snap", ()), snapshot_size=10, view=0)
+        large = StateResponse("r0", 8, (), ("snap", ()), snapshot_size=10_000, view=0)
+        assert large.wire_size() - small.wire_size() == 9_990
+
+    def test_request_is_small(self):
+        assert StateRequest("r0", 128).wire_size() < 64
+
+
+class TestInternalMessages:
+    def test_exec_request_carries_batch(self):
+        request = Request("c0", 1, "op")
+        message = ExecRequest(5, 0, (request,))
+        assert message.order == 5 and message.batch == (request,)
+
+    def test_internal_messages_are_frozen(self):
+        message = VcReady(0, 1, 0, (), ((),))
+        try:
+            message.v_to = 9
+            raised = False
+        except Exception:
+            raised = True
+        assert raised
+
+    def test_nv_stable_shape(self):
+        message = NvStable(1, 8, (), ((), ()))
+        assert len(message.prepares_by_pillar) == 2

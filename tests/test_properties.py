@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.log import OrderingLog
+from repro.core.quorum import MatchingQuorum
+from repro.core.seqnum import flatten, unflatten
+from repro.crypto.digests import canonical_bytes, digest
+from repro.crypto.mac import compute_mac, verify_mac
+from repro.trinx.enclave import EnclavePlatform
+from repro.trinx.trinx import TrInX
+
+SECRET = b"property-group-secret-000000000!"
+
+digestible_values = st.recursive(
+    st.one_of(
+        st.integers(),
+        st.booleans(),
+        st.none(),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestCanonicalSerialization:
+    @given(digestible_values)
+    def test_serialization_is_deterministic(self, value):
+        assert canonical_bytes(value) == canonical_bytes(value)
+
+    @given(digestible_values, digestible_values)
+    def test_distinct_digests_imply_distinct_values(self, a, b):
+        if digest(a) != digest(b):
+            assert canonical_bytes(a) != canonical_bytes(b)
+
+    @given(st.lists(st.integers(), max_size=8))
+    def test_lists_and_tuples_agree(self, items):
+        assert canonical_bytes(items) == canonical_bytes(tuple(items))
+
+    @given(st.dictionaries(st.text(max_size=6), st.integers(), max_size=6))
+    def test_dict_insertion_order_irrelevant(self, mapping):
+        reversed_mapping = dict(reversed(list(mapping.items())))
+        assert canonical_bytes(mapping) == canonical_bytes(reversed_mapping)
+
+
+class TestMacProperties:
+    @given(digestible_values)
+    def test_roundtrip(self, value):
+        tag = compute_mac(SECRET, value)
+        assert verify_mac(SECRET, value, tag)
+
+    @given(digestible_values, st.binary(min_size=32, max_size=32))
+    def test_random_tags_rejected(self, value, tag):
+        if tag != compute_mac(SECRET, value):
+            assert not verify_mac(SECRET, value, tag)
+
+
+class TestFlattenProperties:
+    views = st.integers(min_value=0, max_value=2**20)
+    orders = st.integers(min_value=0, max_value=2**40 - 1)
+
+    @given(views, orders)
+    def test_roundtrip(self, view, order):
+        assert unflatten(flatten(view, order)) == (view, order)
+
+    @given(views, orders, views, orders)
+    def test_ordering_is_lexicographic(self, v1, o1, v2, o2):
+        assert (flatten(v1, o1) < flatten(v2, o2)) == ((v1, o1) < (v2, o2))
+
+
+class TestTrustedCounterProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=1 << 50), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_counter_never_decreases(self, requested_values):
+        instance = TrInX(EnclavePlatform(), "prop", SECRET)
+        observed = [0]
+        for value in requested_values:
+            try:
+                instance.create_independent(0, value, "m")
+            except Exception:
+                pass
+            observed.append(instance.current_value(0))
+        assert observed == sorted(observed)
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_independent_values_never_reused(self, requested_values):
+        instance = TrInX(EnclavePlatform(), "prop", SECRET)
+        issued = []
+        for value in requested_values:
+            try:
+                instance.create_independent(0, value, f"msg-{len(issued)}")
+                issued.append(value)
+            except Exception:
+                pass
+        assert len(issued) == len(set(issued))
+        assert issued == sorted(issued)
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(min_value=0, max_value=50)), max_size=25))
+    @settings(max_examples=50)
+    def test_certificates_always_verify_under_same_secret(self, operations):
+        issuer = TrInX(EnclavePlatform(), "prop-a", SECRET)
+        verifier = TrInX(EnclavePlatform(), "prop-b", SECRET)
+        for index, (continuing, value) in enumerate(operations):
+            message = f"op-{index}"
+            try:
+                if continuing:
+                    cert = issuer.create_continuing(0, value, message)
+                else:
+                    cert = issuer.create_independent(0, value, message)
+            except Exception:
+                continue
+            assert verifier.verify(cert, message)
+            assert not verifier.verify(cert, message + "-tampered")
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=30)
+    def test_certificates_never_verify_under_other_secret(self, other_secret):
+        if other_secret == SECRET:
+            return
+        issuer = TrInX(EnclavePlatform(), "prop", other_secret)
+        verifier = TrInX(EnclavePlatform(), "prop", SECRET)
+        cert = issuer.create_independent(0, 1, "m")
+        assert not verifier.verify(cert, "m")
+
+    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=1, max_value=1000))
+    def test_certificate_field_tampering_always_detected(self, field_index, delta):
+        issuer = TrInX(EnclavePlatform(), "prop", SECRET)
+        verifier = TrInX(EnclavePlatform(), "prop-b", SECRET)
+        cert = issuer.create_continuing(1, 10, "m")
+        if field_index == 0:
+            tampered = replace(cert, issuer="other")
+        elif field_index == 1:
+            tampered = replace(cert, counter=(cert.counter + delta) % 4)
+            if tampered.counter == cert.counter:
+                return
+        elif field_index == 2:
+            tampered = replace(cert, new_value=cert.new_value + delta)
+        else:
+            tampered = replace(cert, previous_value=(cert.previous_value or 0) + delta)
+        assert not verifier.verify(tampered, "m")
+
+
+class TestQuorumProperties:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.lists(
+            st.tuples(st.sampled_from("abcdefg"), st.sampled_from(["k1", "k2", "k3"])),
+            max_size=40,
+        ),
+    )
+    def test_quorum_triggers_exactly_once_per_key(self, quorum_size, votes):
+        quorum = MatchingQuorum(quorum_size)
+        triggers = {}
+        for sender, key in votes:
+            if quorum.add(key, sender):
+                triggers[key] = triggers.get(key, 0) + 1
+        for key in {key for _s, key in votes}:
+            distinct = len({s for s, k in votes if k == key})
+            assert quorum.count(key) == distinct
+            expected = 1 if distinct >= quorum_size else 0
+            assert triggers.get(key, 0) == expected
+
+
+class TestOrderingLogProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=200), max_size=40))
+    @settings(max_examples=50)
+    def test_window_invariant_holds_through_advances(self, checkpoint_orders):
+        log = OrderingLog(window_size=32)
+        for checkpoint in checkpoint_orders:
+            log.advance(checkpoint)
+            assert log.high - log.low == 32
+            assert all(log.low < order <= log.high for order in log._instances)
+            # create a few instances inside the new window
+            for offset in (1, 16, 32):
+                log.instance(log.low + offset)
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=30))
+    def test_low_mark_is_monotone(self, checkpoints):
+        log = OrderingLog(window_size=32)
+        lows = [log.low]
+        for checkpoint in checkpoints:
+            log.advance(checkpoint)
+            lows.append(log.low)
+        assert lows == sorted(lows)

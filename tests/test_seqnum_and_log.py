@@ -1,0 +1,151 @@
+"""Unit tests for the flattened number space, quorums, and the ordering log."""
+
+import pytest
+
+from repro.core.log import OrderingLog
+from repro.core.quorum import MatchingQuorum
+from repro.core.seqnum import flatten, order_of, unflatten, view_of
+from repro.errors import ProtocolError, WindowViolationError
+from repro.messages.ordering import Prepare
+
+
+class TestFlattenedNumberSpace:
+    def test_roundtrip(self):
+        for view, order in [(0, 0), (0, 1), (3, 50), (17, 2**30)]:
+            assert unflatten(flatten(view, order)) == (view, order)
+
+    def test_view_in_most_significant_bits(self):
+        # all values of a higher view exceed all values of a lower view
+        assert flatten(1, 0) > flatten(0, 2**40 - 1)
+        assert flatten(5, 0) > flatten(4, 10**9)
+
+    def test_monotone_in_order_within_view(self):
+        assert flatten(2, 100) < flatten(2, 101)
+
+    def test_accessors(self):
+        value = flatten(7, 1234)
+        assert view_of(value) == 7
+        assert order_of(value) == 1234
+
+    def test_custom_order_bits(self):
+        assert unflatten(flatten(3, 9, order_bits=8), order_bits=8) == (3, 9)
+
+    def test_order_overflow_rejected(self):
+        with pytest.raises(ProtocolError):
+            flatten(0, 1 << 40)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ProtocolError):
+            flatten(-1, 0)
+        with pytest.raises(ProtocolError):
+            flatten(0, -1)
+        with pytest.raises(ProtocolError):
+            unflatten(-5)
+
+
+class TestMatchingQuorum:
+    def test_reached_exactly_once(self):
+        quorum = MatchingQuorum(2)
+        assert not quorum.add("k", "r0")
+        assert quorum.add("k", "r1")
+        assert not quorum.add("k", "r2")  # already reached: no second trigger
+
+    def test_duplicate_senders_do_not_count(self):
+        quorum = MatchingQuorum(2)
+        assert not quorum.add("k", "r0")
+        assert not quorum.add("k", "r0")
+        assert quorum.count("k") == 1
+
+    def test_keys_are_independent(self):
+        quorum = MatchingQuorum(2)
+        quorum.add("a", "r0")
+        quorum.add("b", "r1")
+        assert quorum.count("a") == 1
+        assert quorum.count("b") == 1
+        assert not quorum.reached("a")
+
+    def test_payloads_preserved(self):
+        quorum = MatchingQuorum(2)
+        quorum.add("k", "r0", "msg0")
+        quorum.add("k", "r1", "msg1")
+        assert sorted(quorum.payloads("k")) == ["msg0", "msg1"]
+
+    def test_voters(self):
+        quorum = MatchingQuorum(3)
+        quorum.add("k", "r0")
+        quorum.add("k", "r2")
+        assert quorum.voters("k") == {"r0", "r2"}
+
+    def test_discard_below(self):
+        quorum = MatchingQuorum(1)
+        quorum.add((5, b"x"), "r0")
+        quorum.add((9, b"y"), "r1")
+        quorum.discard_below((6, b""))
+        assert quorum.count((5, b"x")) == 0
+        assert quorum.count((9, b"y")) == 1
+
+    def test_invalid_quorum_size(self):
+        with pytest.raises(ValueError):
+            MatchingQuorum(0)
+
+
+class TestOrderingLog:
+    def test_initial_window(self):
+        log = OrderingLog(window_size=16)
+        assert log.low == 0
+        assert log.high == 16
+        assert log.in_window(1)
+        assert log.in_window(16)
+        assert not log.in_window(0)
+        assert not log.in_window(17)
+
+    def test_instance_get_or_create(self):
+        log = OrderingLog(window_size=16)
+        instance = log.instance(5)
+        assert instance.order == 5
+        assert log.instance(5) is instance
+        assert len(log) == 1
+
+    def test_out_of_window_access_rejected(self):
+        log = OrderingLog(window_size=16)
+        with pytest.raises(WindowViolationError):
+            log.instance(17)
+        with pytest.raises(WindowViolationError):
+            log.instance(0)
+
+    def test_peek_never_creates(self):
+        log = OrderingLog(window_size=16)
+        assert log.peek(5) is None
+        assert len(log) == 0
+
+    def test_advance_garbage_collects(self):
+        log = OrderingLog(window_size=16)
+        for order in (1, 5, 9):
+            log.instance(order)
+        log.advance(5)
+        assert log.low == 5
+        assert log.peek(1) is None
+        assert log.peek(5) is None
+        assert log.peek(9) is not None
+        assert log.in_window(21)
+
+    def test_advance_is_monotone(self):
+        log = OrderingLog(window_size=16)
+        log.advance(8)
+        log.advance(4)  # stale: ignored
+        assert log.low == 8
+
+    def test_uncommitted_sorted_by_order(self):
+        log = OrderingLog(window_size=16)
+        for order in (9, 3, 6):
+            instance = log.instance(order)
+            instance.prepare = Prepare(0, order, (), "r0")
+        log.instance(6).committed = True
+        assert [i.order for i in log.uncommitted()] == [3, 9]
+
+    def test_prepares_in_window_filters_by_pillar(self):
+        log = OrderingLog(window_size=16)
+        for order in range(1, 9):
+            log.instance(order).prepare = Prepare(0, order, (), "r0")
+        mine = log.prepares_in_window(pillar=1, num_pillars=4)
+        assert [p.order for p in mine] == [1, 5]

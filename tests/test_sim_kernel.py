@@ -1,0 +1,143 @@
+"""Unit tests for the discrete-event kernel and event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.kernel import Simulator
+
+
+class TestEventQueue:
+    def test_pop_returns_earliest(self):
+        queue = EventQueue()
+        order = []
+        queue.push(30, order.append, (3,))
+        queue.push(10, order.append, (1,))
+        queue.push(20, order.append, (2,))
+        while len(queue):
+            queue.pop().fire()
+        assert order == [1, 2, 3]
+
+    def test_ties_resolved_in_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for i in range(5):
+            queue.push(7, order.append, (i,))
+        while len(queue):
+            queue.pop().fire()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        order = []
+        keep = queue.push(1, order.append, ("keep",))
+        drop = queue.push(0, order.append, ("drop",))
+        drop.cancel()
+        queue.note_cancelled()
+        assert len(queue) == 1
+        assert queue.pop() is keep
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(5, lambda: None)
+        queue.push(9, lambda: None)
+        first.cancel()
+        queue.note_cancelled()
+        assert queue.peek_time() == 9
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "a")
+        sim.schedule(50, fired.append, "b")
+        sim.run()
+        assert fired == ["b", "a"]
+        assert sim.now == 100
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_run_until_leaves_later_events_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "early")
+        sim.schedule(900, fired.append, "late")
+        sim.run(until=500)
+        assert fired == ["early"]
+        assert sim.now == 500
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_event_scheduled_during_run_executes(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if sim.now < 30:
+                sim.schedule(10, chain)
+
+        sim.schedule(10, chain)
+        sim.run()
+        assert fired == [10, 20, 30]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, fired.append, "x")
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+        assert sim.pending_events == 0
+
+    def test_cancel_twice_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert sim.pending_events == 0
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i, fired.append, i)
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_charge_without_meter_is_noop(self):
+        sim = Simulator()
+        sim.charge(1_000)  # must not raise
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3

@@ -1,0 +1,91 @@
+"""Unit tests for time units, seeded randomness, and the null simulator."""
+
+from repro.sim.kernel import NullSimulator, Simulator
+from repro.sim.rand import DeterministicRandom
+from repro.sim.timeunits import (
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    ms_to_ns,
+    ns_to_ms,
+    ns_to_seconds,
+    ns_to_us,
+    seconds_to_ns,
+    us_to_ns,
+)
+
+
+class TestTimeUnits:
+    def test_constants(self):
+        assert MICROSECOND == 1_000
+        assert MILLISECOND == 1_000_000
+        assert SECOND == 1_000_000_000
+
+    def test_conversions_roundtrip(self):
+        assert seconds_to_ns(1.5) == 1_500_000_000
+        assert ns_to_seconds(1_500_000_000) == 1.5
+        assert us_to_ns(2.5) == 2_500
+        assert ms_to_ns(0.5) == 500_000
+        assert ns_to_us(2_500) == 2.5
+        assert ns_to_ms(500_000) == 0.5
+
+    def test_fractional_rounding(self):
+        assert seconds_to_ns(1e-9) == 1
+        assert us_to_ns(0.0004) == 0  # below resolution rounds down
+
+
+class TestDeterministicRandom:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRandom(42), DeterministicRandom(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a, b = DeterministicRandom(1), DeterministicRandom(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_is_stable_and_independent(self):
+        base = DeterministicRandom(7)
+        fork_a = base.fork(1)
+        fork_b = DeterministicRandom(7).fork(1)
+        assert [fork_a.randint(0, 100) for _ in range(5)] == [
+            fork_b.randint(0, 100) for _ in range(5)
+        ]
+        assert base.fork(1).seed != base.fork(2).seed
+
+    def test_helpers(self):
+        rng = DeterministicRandom(3)
+        assert rng.choice([1, 2, 3]) in (1, 2, 3)
+        items = [1, 2, 3, 4]
+        rng.shuffle(items)
+        assert sorted(items) == [1, 2, 3, 4]
+        assert rng.expovariate(1.0) > 0
+
+
+class TestNullSimulator:
+    def test_clock_stays_until_stepped(self):
+        sim = NullSimulator()
+        fired = []
+        sim.schedule(5, fired.append, 1)
+        assert sim.now == 0
+        assert fired == []
+        sim.step()
+        assert fired == [1]
+        assert sim.now == 5
+
+
+class TestSimulatorDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            from tests.conftest import Harness
+
+            harness = Harness()
+            harness.add_client(window=2)
+            harness.start_clients()
+            harness.run(60)
+            return (
+                harness.completed,
+                harness.sim.events_processed,
+                [str(s) for s in harness.service_states()],
+            )
+
+        assert run_once() == run_once()

@@ -1,0 +1,206 @@
+"""Unit tests for stages, endpoints, and stage-to-stage messaging."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Endpoint, Stage
+from repro.sim.resources import Machine
+from repro.sim.tracing import Tracer
+
+
+class Recorder(Stage):
+    """Records received messages; optionally charges CPU per message."""
+
+    def __init__(self, endpoint, thread, name, cost_ns=0):
+        super().__init__(endpoint, thread, name)
+        self.cost_ns = cost_ns
+        self.received = []
+
+    def on_message(self, src, message):
+        self.sim.charge(self.cost_ns)
+        self.received.append((src, message, self.now))
+
+
+class Echo(Stage):
+    def on_message(self, src, message):
+        self.send(src, ("echo", message))
+
+
+def build_world(latency_ns=1_000):
+    sim = Simulator()
+    net = Network(sim, latency_ns=latency_ns, default_bandwidth=1_000_000_000)
+    tracer = Tracer()
+    machines = {name: Machine(sim, name, cores=4) for name in ("m0", "m1")}
+    endpoints = {name: Endpoint(sim, net, name, tracer) for name in machines}
+    return sim, net, machines, endpoints, tracer
+
+
+class TestStageMessaging:
+    def test_remote_send_goes_through_network(self):
+        sim, net, machines, endpoints, _ = build_world()
+        a = Recorder(endpoints["m0"], machines["m0"].allocate_thread("a"), "a")
+        b = Recorder(endpoints["m1"], machines["m1"].allocate_thread("b"), "b")
+        a.send(b.address, "hi", size=100)
+        sim.run()
+        assert len(b.received) == 1
+        src, msg, at = b.received[0]
+        assert src == a.address
+        assert msg == "hi"
+        assert at > 1_000  # at least the propagation latency
+        assert net.messages_sent == 1
+
+    def test_local_send_bypasses_network(self):
+        sim, net, machines, endpoints, _ = build_world()
+        thread = machines["m0"].allocate_thread("shared")
+        a = Recorder(endpoints["m0"], thread, "a")
+        b = Recorder(endpoints["m0"], machines["m0"].allocate_thread("b"), "b")
+        a.send(b.address, "local", size=100)
+        sim.run()
+        assert len(b.received) == 1
+        assert net.messages_sent == 0
+
+    def test_sends_inside_handler_deferred_to_busy_end(self):
+        sim, net, machines, endpoints, _ = build_world(latency_ns=0)
+
+        class Worker(Stage):
+            def on_message(self, src, message):
+                self.sim.charge(10_000)
+                self.send(("m0", "sink"), "result", size=0)
+
+        worker = Worker(endpoints["m0"], machines["m0"].allocate_thread("w"), "w")
+        sink = Recorder(endpoints["m0"], machines["m0"].allocate_thread("s"), "sink")
+        worker._enqueue(("m0", "test"), "go")
+        sim.run()
+        assert sink.received[0][2] >= 10_000
+
+    def test_echo_round_trip(self):
+        sim, net, machines, endpoints, _ = build_world()
+        client = Recorder(endpoints["m0"], machines["m0"].allocate_thread("c"), "client")
+        echo = Echo(endpoints["m1"], machines["m1"].allocate_thread("e"), "echo")
+        client.send(echo.address, "ping", size=64)
+        sim.run()
+        assert client.received[0][1] == ("echo", "ping")
+
+    def test_broadcast_reaches_all(self):
+        sim, net, machines, endpoints, _ = build_world()
+        sender = Recorder(endpoints["m0"], machines["m0"].allocate_thread("snd"), "snd")
+        sinks = [
+            Recorder(endpoints["m1"], machines["m1"].allocate_thread(f"r{i}"), f"r{i}")
+            for i in range(3)
+        ]
+        sender.broadcast([s.address for s in sinks], "news", size=10)
+        sim.run()
+        assert all(len(s.received) == 1 for s in sinks)
+
+    def test_message_to_unknown_stage_dropped_silently(self):
+        sim, net, machines, endpoints, _ = build_world()
+        a = Recorder(endpoints["m0"], machines["m0"].allocate_thread("a"), "a")
+        a.send(("m1", "ghost"), "lost", size=10)
+        sim.run()  # must not raise
+
+    def test_duplicate_stage_name_rejected(self):
+        sim, net, machines, endpoints, _ = build_world()
+        thread = machines["m0"].allocate_thread("t")
+        Recorder(endpoints["m0"], thread, "dup")
+        with pytest.raises(ConfigurationError):
+            Recorder(endpoints["m0"], thread, "dup")
+
+    def test_default_wire_size_used_when_unspecified(self):
+        sim, net, machines, endpoints, _ = build_world()
+        a = Recorder(endpoints["m0"], machines["m0"].allocate_thread("a"), "a")
+        b = Recorder(endpoints["m1"], machines["m1"].allocate_thread("b"), "b")
+        a.send(b.address, "no-size-given")
+        sim.run()
+        assert net.interface("m0").bytes_sent == 64
+
+    def test_wire_size_method_respected(self):
+        class Sized:
+            def wire_size(self):
+                return 1234
+
+        sim, net, machines, endpoints, _ = build_world()
+        a = Recorder(endpoints["m0"], machines["m0"].allocate_thread("a"), "a")
+        b = Recorder(endpoints["m1"], machines["m1"].allocate_thread("b"), "b")
+        a.send(b.address, Sized())
+        sim.run()
+        assert net.interface("m0").bytes_sent == 1234
+
+
+class TestTimers:
+    def test_timer_fires_on_stage_thread(self):
+        sim, net, machines, endpoints, _ = build_world()
+        stage = Recorder(endpoints["m0"], machines["m0"].allocate_thread("a"), "a")
+        fired = []
+        stage.set_timer(5_000, lambda: fired.append(stage.now))
+        sim.run()
+        assert fired == [5_000]
+
+    def test_timer_waits_for_busy_thread(self):
+        sim, net, machines, endpoints, _ = build_world()
+        stage = Recorder(endpoints["m0"], machines["m0"].allocate_thread("a"), "a", cost_ns=50_000)
+        fired = []
+        stage._enqueue(("m0", "x"), "work")
+        stage.set_timer(1_000, lambda: fired.append(stage.now))
+        sim.run()
+        assert fired == [50_000]
+
+    def test_cancelled_timer_never_fires(self):
+        sim, net, machines, endpoints, _ = build_world()
+        stage = Recorder(endpoints["m0"], machines["m0"].allocate_thread("a"), "a")
+        fired = []
+        event = stage.set_timer(5_000, lambda: fired.append(1))
+        stage.cancel_timer(event)
+        sim.run()
+        assert fired == []
+
+    def test_timer_may_send_messages(self):
+        sim, net, machines, endpoints, _ = build_world()
+
+        class Alarm(Stage):
+            def ring(self):
+                self.send(("m1", "sink"), "ring", size=8)
+
+            def on_message(self, src, message):
+                pass
+
+        alarm = Alarm(endpoints["m0"], machines["m0"].allocate_thread("al"), "al")
+        sink = Recorder(endpoints["m1"], machines["m1"].allocate_thread("s"), "sink")
+        alarm.set_timer(2_000, alarm.ring)
+        sim.run()
+        assert len(sink.received) == 1
+
+
+class TestTracing:
+    def test_stage_traces_are_recorded(self):
+        sim, net, machines, endpoints, tracer = build_world()
+
+        class Chatty(Stage):
+            def on_message(self, src, message):
+                self.trace("got", message)
+
+        stage = Chatty(endpoints["m0"], machines["m0"].allocate_thread("a"), "a")
+        stage._enqueue(("m0", "x"), "hello")
+        sim.run()
+        records = list(tracer.select(category="got"))
+        assert len(records) == 1
+        assert records[0].detail == "hello"
+        assert records[0].node == "m0/a"
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(0, "n", "cat", "x")
+        assert tracer.records == []
+
+    def test_category_filtered_tracer(self):
+        tracer = Tracer(categories={"keep"})
+        tracer.emit(0, "n", "keep", 1)
+        tracer.emit(0, "n", "drop", 2)
+        assert len(tracer.records) == 1
+
+    def test_dump_is_readable(self):
+        tracer = Tracer()
+        tracer.emit(1_500_000, "node", "phase", "detail")
+        assert "node" in tracer.dump()
+        assert "phase" in tracer.dump()

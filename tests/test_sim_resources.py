@@ -1,0 +1,200 @@
+"""Unit tests for the CPU model: machines, cores, simulated threads."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.resources import CostMeter, Machine, SimThread
+
+
+def make_thread(speed=1.0, base_cost_ns=0):
+    sim = Simulator()
+    return sim, SimThread(sim, "t0", speed=speed, base_cost_ns=base_cost_ns)
+
+
+class TestCostMeter:
+    def test_accumulates(self):
+        meter = CostMeter()
+        meter.add(10)
+        meter.add(5)
+        assert meter.total_ns == 15
+
+    def test_reset_returns_and_clears(self):
+        meter = CostMeter()
+        meter.add(42)
+        assert meter.reset() == 42
+        assert meter.total_ns == 0
+
+
+class TestSimThread:
+    def test_handler_cost_occupies_thread(self):
+        sim, thread = make_thread()
+        done_at = []
+
+        def handler(_):
+            sim.charge(1_000)
+
+        thread.submit(handler)
+        thread.submit(lambda _: done_at.append(sim.now))
+        sim.run()
+        # second handler starts only after the first 1000ns busy period
+        assert done_at == [1_000]
+
+    def test_fifo_order(self):
+        sim, thread = make_thread()
+        seen = []
+        for i in range(5):
+            thread.submit(lambda arg: seen.append(arg), i)
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_speed_scales_busy_time(self):
+        sim, thread = make_thread(speed=0.5)
+        finished = []
+        thread.submit(lambda _: sim.charge(1_000))
+        thread.submit(lambda _: finished.append(sim.now))
+        sim.run()
+        assert finished == [2_000]
+
+    def test_base_cost_applied_per_handler(self):
+        sim, thread = make_thread(base_cost_ns=300)
+        finished = []
+        thread.submit(lambda _: None)
+        thread.submit(lambda _: finished.append(sim.now))
+        sim.run()
+        assert finished == [300]
+
+    def test_after_busy_defers_actions(self):
+        sim, thread = make_thread()
+        log = []
+
+        def handler(_):
+            sim.charge(2_000)
+            thread.after_busy(lambda: log.append(("sent", sim.now)))
+            log.append(("computed", sim.now))
+
+        thread.submit(handler)
+        sim.run()
+        assert log == [("computed", 0), ("sent", 2_000)]
+
+    def test_busy_accounting(self):
+        sim, thread = make_thread()
+        thread.submit(lambda _: sim.charge(5_000))
+        thread.submit(lambda _: sim.charge(3_000))
+        sim.run()
+        assert thread.busy_ns == 8_000
+        assert thread.handlers_run == 2
+        assert thread.utilization(8_000) == 1.0
+        assert thread.utilization(16_000) == 0.5
+
+    def test_queue_length_visible_while_busy(self):
+        sim, thread = make_thread()
+        lengths = []
+
+        def first(_):
+            sim.charge(10_000)
+
+        thread.submit(first)
+        thread.submit(lambda _: None)
+        thread.submit(lambda _: None)
+        sim.schedule(1, lambda: lengths.append(thread.queue_length))
+        sim.run()
+        assert lengths == [2]
+
+    def test_invalid_speed_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            SimThread(sim, "bad", speed=0)
+
+    def test_meter_isolated_between_threads(self):
+        sim = Simulator()
+        t1 = SimThread(sim, "a")
+        t2 = SimThread(sim, "b")
+        finish = {}
+
+        def heavy(_):
+            sim.charge(9_000)
+
+        def light(_):
+            sim.charge(1_000)
+
+        t1.submit(heavy)
+        t2.submit(light)
+        t1.submit(lambda _: finish.setdefault("a", sim.now))
+        t2.submit(lambda _: finish.setdefault("b", sim.now))
+        sim.run()
+        assert finish == {"a": 9_000, "b": 1_000}
+
+
+class TestMachine:
+    def test_single_thread_runs_full_speed(self):
+        sim = Simulator()
+        machine = Machine(sim, "m0", cores=4)
+        thread = machine.allocate_thread("p0")
+        assert thread.speed == 1.0
+
+    def test_threads_spread_across_cores_before_doubling(self):
+        sim = Simulator()
+        machine = Machine(sim, "m0", cores=4, ht_efficiency=0.65)
+        threads = [machine.allocate_thread(f"p{i}") for i in range(4)]
+        assert all(t.sibling is None for t in threads)
+        fifth = machine.allocate_thread("p4")
+        # the fifth thread shares core 0 with the first
+        assert fifth.sibling is threads[0]
+        assert threads[0].sibling is fifth
+        assert threads[1].sibling is None
+
+    def test_dynamic_ht_slowdown_only_when_sibling_busy(self):
+        sim = Simulator()
+        machine = Machine(sim, "m0", cores=1, ht_efficiency=0.5)
+        a = machine.allocate_thread("a")
+        b = machine.allocate_thread("b")
+        finish = {}
+        # sibling idle: full speed (1000ns of work takes 1000ns)
+        a.submit(lambda _: sim.charge(1_000))
+        a.submit(lambda _: finish.setdefault("solo", sim.now))
+        sim.run()
+        assert finish["solo"] == 1_000
+        # sibling busy: half speed (1000ns of work takes 2000ns)
+        start = sim.now
+        a.submit(lambda _: sim.charge(10_000))
+        sim.run(max_events=1)  # start the long handler on a
+        b.submit(lambda _: sim.charge(1_000))
+        b.submit(lambda _: finish.setdefault("contended", sim.now))
+        sim.run()
+        assert finish["contended"] - start == 2_000
+
+    def test_hardware_thread_capacity(self):
+        sim = Simulator()
+        machine = Machine(sim, "m0", cores=2)
+        assert machine.hardware_threads == 4
+        for i in range(4):
+            machine.allocate_thread(f"p{i}")
+        with pytest.raises(ConfigurationError):
+            machine.allocate_thread("overflow")
+
+    def test_ht_disabled_halves_capacity(self):
+        sim = Simulator()
+        machine = Machine(sim, "m0", cores=2, ht_enabled=False)
+        assert machine.hardware_threads == 2
+
+    def test_invalid_configs_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            Machine(sim, "m0", cores=0)
+        with pytest.raises(ConfigurationError):
+            Machine(sim, "m0", ht_efficiency=0.2)
+
+    def test_total_utilization(self):
+        sim = Simulator()
+        machine = Machine(sim, "m0", cores=2)
+        t0 = machine.allocate_thread("p0")
+        machine.allocate_thread("p1")
+        t0.submit(lambda _: sim.charge(1_000))
+        sim.run()
+        assert machine.total_utilization(1_000) == pytest.approx(0.5)
+
+    def test_total_utilization_empty_machine(self):
+        sim = Simulator()
+        machine = Machine(sim, "m0")
+        assert machine.total_utilization(1_000) == 0.0

@@ -1,0 +1,286 @@
+"""Unit tests for the TrInX trusted subsystem (paper §5.1)."""
+
+import pytest
+
+from repro.errors import (
+    CounterRegressionError,
+    ReplayProtectionError,
+    UnknownCounterError,
+)
+from repro.trinx.certificates import CounterCertificate
+from repro.trinx.enclave import EnclavePlatform
+from repro.trinx.multi import MultiTrInX
+from repro.trinx.trinx import TrInX
+
+SECRET = b"group-secret-000000000000000000!"
+
+
+def make_pair():
+    platform = EnclavePlatform()
+    issuer = TrInX(platform, "r0/tss0", SECRET)
+    verifier = TrInX(platform, "r1/tss0", SECRET)
+    return issuer, verifier
+
+
+class TestContinuingCertificates:
+    def test_create_and_verify(self):
+        issuer, verifier = make_pair()
+        cert = issuer.create_continuing(0, 5, "msg")
+        assert cert.previous_value == 0
+        assert cert.new_value == 5
+        assert verifier.verify(cert, "msg")
+
+    def test_counter_advances(self):
+        issuer, _ = make_pair()
+        issuer.create_continuing(0, 5, "a")
+        assert issuer.current_value(0) == 5
+
+    def test_equal_value_allowed(self):
+        # tv' == tv is the trusted-MAC case: multiple certificates may share
+        # the counter value, bound to different messages.
+        issuer, verifier = make_pair()
+        issuer.create_continuing(0, 5, "a")
+        cert_b = issuer.create_continuing(0, 5, "b")
+        cert_c = issuer.create_continuing(0, 5, "c")
+        assert verifier.verify(cert_b, "b")
+        assert verifier.verify(cert_c, "c")
+
+    def test_regression_rejected(self):
+        issuer, _ = make_pair()
+        issuer.create_continuing(0, 10, "a")
+        with pytest.raises(CounterRegressionError):
+            issuer.create_continuing(0, 9, "b")
+
+    def test_previous_value_is_bound_into_mac(self):
+        # A replica cannot pretend its previous value was lower/higher.
+        issuer, verifier = make_pair()
+        cert = issuer.create_continuing(0, 5, "m")
+        forged = CounterCertificate(cert.issuer, cert.counter, cert.new_value, 4, cert.mac)
+        assert not verifier.verify(forged, "m")
+
+    def test_counters_are_independent(self):
+        issuer, _ = make_pair()
+        issuer.create_continuing(0, 100, "a")
+        assert issuer.current_value(1) == 0
+        issuer.create_continuing(1, 1, "b")
+        assert issuer.current_value(0) == 100
+
+
+class TestIndependentCertificates:
+    def test_create_and_verify(self):
+        issuer, verifier = make_pair()
+        cert = issuer.create_independent(0, 7, "m")
+        assert cert.previous_value is None
+        assert verifier.verify(cert, "m")
+
+    def test_strictly_increasing(self):
+        issuer, _ = make_pair()
+        issuer.create_independent(0, 7, "a")
+        with pytest.raises(CounterRegressionError):
+            issuer.create_independent(0, 7, "b")
+
+    def test_uniqueness_one_certificate_per_value(self):
+        # The equivocation-prevention property: once value 7 is used, no
+        # second valid certificate for value 7 can ever be produced.
+        issuer, _ = make_pair()
+        issuer.create_independent(0, 7, "proposal-A")
+        with pytest.raises(CounterRegressionError):
+            issuer.create_independent(0, 7, "proposal-B")
+
+    def test_gaps_allowed(self):
+        issuer, verifier = make_pair()
+        cert = issuer.create_independent(0, 1_000_000, "jump")
+        assert verifier.verify(cert, "jump")
+        assert issuer.current_value(0) == 1_000_000
+
+    def test_kind_properties(self):
+        issuer, _ = make_pair()
+        independent = issuer.create_independent(0, 1, "m")
+        continuing = issuer.create_continuing(1, 1, "m")
+        trusted = issuer.create_trusted_mac(2, "m")
+        assert independent.kind == "independent"
+        assert continuing.kind == "continuing"
+        assert not continuing.is_trusted_mac
+        assert trusted.is_trusted_mac
+
+
+class TestForgeryResistance:
+    def test_wrong_secret_cannot_forge(self):
+        platform = EnclavePlatform()
+        issuer = TrInX(platform, "r0/tss0", SECRET)
+        attacker = TrInX(platform, "r0/tss0", b"wrong" * 6 + b"xx")
+        verifier = TrInX(platform, "r1/tss0", SECRET)
+        real = issuer.create_independent(0, 5, "m")
+        fake = attacker.create_independent(0, 5, "m")
+        assert verifier.verify(real, "m")
+        assert not verifier.verify(fake, "m")
+
+    def test_no_instance_impersonation(self):
+        # An instance never issues a certificate naming another instance, and
+        # relabeling a certificate breaks the MAC.
+        issuer, verifier = make_pair()
+        cert = issuer.create_independent(0, 5, "m")
+        relabeled = CounterCertificate("r2/tss0", cert.counter, cert.new_value, None, cert.mac)
+        assert not verifier.verify(relabeled, "m")
+
+    def test_message_substitution_fails(self):
+        issuer, verifier = make_pair()
+        cert = issuer.create_independent(0, 5, "m")
+        assert not verifier.verify(cert, "other")
+
+    def test_value_substitution_fails(self):
+        issuer, verifier = make_pair()
+        cert = issuer.create_independent(0, 5, "m")
+        bumped = CounterCertificate(cert.issuer, cert.counter, 6, None, cert.mac)
+        assert not verifier.verify(bumped, "m")
+
+    def test_counter_substitution_fails(self):
+        issuer, verifier = make_pair()
+        cert = issuer.create_independent(0, 5, "m")
+        moved = CounterCertificate(cert.issuer, 1, cert.new_value, None, cert.mac)
+        assert not verifier.verify(moved, "m")
+
+    def test_kind_confusion_fails(self):
+        # an independent certificate cannot pass as continuing and vice versa
+        issuer, verifier = make_pair()
+        independent = issuer.create_independent(0, 5, "m")
+        as_continuing = CounterCertificate(independent.issuer, 0, 5, 5, independent.mac)
+        assert not verifier.verify(as_continuing, "m")
+
+    def test_verification_does_not_mutate(self):
+        issuer, verifier = make_pair()
+        cert = issuer.create_independent(0, 5, "m")
+        before = verifier.current_value(0)
+        verifier.verify(cert, "m")
+        assert verifier.current_value(0) == before
+
+
+class TestMultiCounterCertificates:
+    def test_create_and_verify(self):
+        issuer, verifier = make_pair()
+        cert = issuer.create_multi_continuing({0: 5, 2: 9}, "snapshot")
+        assert verifier.verify_multi(cert, "snapshot")
+        assert issuer.current_value(0) == 5
+        assert issuer.current_value(2) == 9
+
+    def test_single_enclave_call(self):
+        issuer, _ = make_pair()
+        before = issuer.platform.calls
+        issuer.create_multi_continuing({0: 1, 1: 1, 2: 1, 3: 1}, "m")
+        assert issuer.platform.calls == before + 1
+
+    def test_regression_in_any_entry_rejected_atomically(self):
+        issuer, _ = make_pair()
+        issuer.create_continuing(1, 10, "setup")
+        with pytest.raises(CounterRegressionError):
+            issuer.create_multi_continuing({0: 5, 1: 9}, "m")
+        # nothing was applied
+        assert issuer.current_value(0) == 0
+        assert issuer.current_value(1) == 10
+
+    def test_value_lookup(self):
+        issuer, _ = make_pair()
+        cert = issuer.create_multi_continuing({0: 5, 1: 7}, "m")
+        assert cert.value_of(0) == 5
+        assert cert.value_of(1) == 7
+        assert cert.value_of(3) is None
+
+    def test_tampered_entries_fail(self):
+        from repro.trinx.certificates import MultiCounterCertificate
+
+        issuer, verifier = make_pair()
+        cert = issuer.create_multi_continuing({0: 5}, "m")
+        forged = MultiCounterCertificate(cert.issuer, ((0, 6, 0),), cert.mac)
+        assert not verifier.verify_multi(forged, "m")
+
+
+class TestTrustedMacs:
+    def test_counter_not_advanced(self):
+        issuer, _ = make_pair()
+        issuer.create_trusted_mac(0, "a")
+        issuer.create_trusted_mac(0, "b")
+        assert issuer.current_value(0) == 0
+
+    def test_verifiable_and_nonrepudiable_binding(self):
+        issuer, verifier = make_pair()
+        cert = issuer.create_trusted_mac(0, "checkpoint-50")
+        assert verifier.verify(cert, "checkpoint-50")
+        # bound to the issuing instance: relabeling fails
+        relabeled = CounterCertificate("r9/tss0", 0, 0, 0, cert.mac)
+        assert not verifier.verify(relabeled, "checkpoint-50")
+
+
+class TestEnclaveModel:
+    def test_call_accounting(self):
+        charged = []
+        platform = EnclavePlatform(charge=charged.append)
+        instance = TrInX(platform, "id", SECRET)
+        instance.create_independent(0, 1, "m", size_hint=32)
+        assert len(charged) == 1
+        assert 4_000 < charged[0] < 4_400  # ~4.15us per certification
+
+    def test_jni_surcharge(self):
+        charged_native, charged_jni = [], []
+        native = TrInX(EnclavePlatform(charge=charged_native.append), "a", SECRET)
+        jni = TrInX(EnclavePlatform(charge=charged_jni.append, via_jni=True), "b", SECRET)
+        native.create_independent(0, 1, "m")
+        jni.create_independent(0, 1, "m")
+        assert charged_jni[0] - charged_native[0] == 300
+
+    def test_seal_and_relaunch_preserves_counters(self):
+        platform = EnclavePlatform()
+        instance = TrInX(platform, "id", SECRET)
+        instance.create_independent(0, 42, "m")
+        sealed = instance.seal()
+        relaunched = TrInX.launch(platform, sealed)
+        assert relaunched.current_value(0) == 42
+        with pytest.raises(CounterRegressionError):
+            relaunched.create_independent(0, 42, "rollback-attempt")
+
+    def test_replay_of_stale_sealed_state_refused(self):
+        platform = EnclavePlatform()
+        instance = TrInX(platform, "id", SECRET)
+        instance.create_independent(0, 10, "m")
+        old = instance.seal()
+        instance.create_independent(0, 20, "m2")
+        instance.seal()  # newer version registered with the platform
+        with pytest.raises(ReplayProtectionError):
+            TrInX.launch(platform, old)
+
+    def test_unknown_counter_rejected(self):
+        instance = TrInX(EnclavePlatform(), "id", SECRET, num_counters=2)
+        with pytest.raises(UnknownCounterError):
+            instance.create_independent(5, 1, "m")
+        with pytest.raises(UnknownCounterError):
+            instance.current_value(-1)
+
+    def test_zero_counters_rejected(self):
+        with pytest.raises(UnknownCounterError):
+            TrInX(EnclavePlatform(), "id", SECRET, num_counters=0)
+
+
+class TestMultiTrInX:
+    def test_instances_share_group_secret(self):
+        platform = EnclavePlatform()
+        multi = MultiTrInX(platform, "m0/shared", SECRET, num_instances=3)
+        solo = TrInX(platform, "r1/tss0", SECRET)
+        cert = multi.instance(0).create_independent(0, 5, "m")
+        assert solo.verify(cert, "m")
+
+    def test_instances_have_independent_counters(self):
+        multi = MultiTrInX(EnclavePlatform(), "m0/shared", SECRET, num_instances=2)
+        multi.instance(0).create_independent(0, 50, "m")
+        assert multi.instance(1).current_value(0) == 0
+
+    def test_no_contention_below_knee(self):
+        multi = MultiTrInX(EnclavePlatform(), "e", SECRET, num_instances=4, sharing_threads=6)
+        assert multi.contention_ns == 0
+
+    def test_contention_above_knee(self):
+        charged = []
+        platform = EnclavePlatform(charge=charged.append)
+        multi = MultiTrInX(platform, "e", SECRET, num_instances=8, sharing_threads=8)
+        assert multi.contention_ns > 0
+        multi.instance(0).create_independent(0, 1, "m", size_hint=32)
+        solo_cost = platform.enter_call_cost_ns(32)
+        assert charged[0] == solo_cost + multi.contention_ns

@@ -1,0 +1,93 @@
+"""Additional TrInX coverage: certificate datatypes and wire accounting."""
+
+from repro.trinx.certificates import (
+    CERT_HEADER_SIZE,
+    CONTINUING,
+    INDEPENDENT,
+    MAC_SIZE,
+    CounterCertificate,
+    MultiCounterCertificate,
+)
+from repro.trinx.enclave import EnclavePlatform, GroupConfiguration
+from repro.trinx.trinx import TrInX
+
+SECRET = b"certs-group-secret-000000000000!"
+
+
+class TestCertificateDatatypes:
+    def test_kind_detection(self):
+        independent = CounterCertificate("i", 0, 5, None, b"m" * 32)
+        continuing = CounterCertificate("i", 0, 5, 3, b"m" * 32)
+        assert independent.kind == INDEPENDENT
+        assert continuing.kind == CONTINUING
+
+    def test_trusted_mac_detection(self):
+        trusted = CounterCertificate("i", 0, 5, 5, b"m" * 32)
+        advancing = CounterCertificate("i", 0, 6, 5, b"m" * 32)
+        assert trusted.is_trusted_mac
+        assert not advancing.is_trusted_mac
+        independent = CounterCertificate("i", 0, 5, None, b"m" * 32)
+        assert not independent.is_trusted_mac
+
+    def test_wire_sizes(self):
+        single = CounterCertificate("i", 0, 5, None, b"m" * 32)
+        assert single.wire_size() == CERT_HEADER_SIZE + MAC_SIZE
+        multi = MultiCounterCertificate("i", ((0, 5, 0), (1, 7, 2)), b"m" * 32)
+        assert multi.wire_size() == CERT_HEADER_SIZE + MAC_SIZE + 32
+
+    def test_multi_value_lookup(self):
+        multi = MultiCounterCertificate("i", ((0, 5, 0), (2, 9, 1)), b"m" * 32)
+        assert multi.value_of(0) == 5
+        assert multi.value_of(2) == 9
+        assert multi.value_of(1) is None
+
+
+class TestMultiCounterViewChangeUse:
+    """The rotation configuration's certificate pattern (DESIGN.md §7)."""
+
+    def test_seal_all_lanes_with_one_call(self):
+        platform = EnclavePlatform()
+        instance = TrInX(platform, "r0/tss0", SECRET, num_counters=4)
+        # lanes 0..2 at different positions, as after mixed participation
+        instance.create_independent(0, 100, "lane0")
+        instance.create_independent(1, 50, "lane1")
+        calls_before = platform.calls
+        sealed_value = 1 << 40  # flatten(1, 0)
+        multi = instance.create_multi_continuing(
+            {0: sealed_value, 1: sealed_value, 2: sealed_value}, "view-change"
+        )
+        assert platform.calls == calls_before + 1
+        previous = {counter: prev for counter, _new, prev in multi.entries}
+        assert previous == {0: 100, 1: 50, 2: 0}
+        # all lanes are sealed: no lane can certify view-0 values anymore
+        import pytest
+        from repro.errors import CounterRegressionError
+
+        with pytest.raises(CounterRegressionError):
+            instance.create_independent(2, 7, "late order message")
+
+    def test_verification_by_peer(self):
+        platform = EnclavePlatform()
+        issuer = TrInX(platform, "r0/tss0", SECRET, num_counters=3)
+        verifier = TrInX(platform, "r1/tss0", SECRET, num_counters=3)
+        multi = issuer.create_multi_continuing({0: 4, 1: 4}, "vc")
+        assert verifier.verify_multi(multi, "vc")
+        assert not verifier.verify_multi(multi, "other")
+
+
+class TestGroupConfiguration:
+    def test_secret_validation(self):
+        import pytest
+        from repro.errors import SealedKeyMismatchError
+
+        group = GroupConfiguration(group_secret=SECRET)
+        group.validate_secret(SECRET)
+        with pytest.raises(SealedKeyMismatchError):
+            group.validate_secret(b"x" * 32)
+
+    def test_enclave_call_cost_components(self):
+        native = EnclavePlatform(via_jni=False)
+        jni = EnclavePlatform(via_jni=True)
+        assert jni.enter_call_cost_ns(32) - native.enter_call_cost_ns(32) == 300
+        # larger messages hash longer inside the enclave
+        assert native.enter_call_cost_ns(1024) > native.enter_call_cost_ns(32)
