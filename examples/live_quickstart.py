@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Live quickstart: replicate a key-value store over real sockets.
+
+The live twin of ``examples/quickstart.py``: the same three-replica
+Hybster group and the same scripted key-value workload, but instead of
+the discrete-event simulator, every replica and the client run as asyncio
+tasks in this process and exchange codec-framed messages over localhost
+TCP connections.
+
+Run with::
+
+    PYTHONPATH=src python examples/live_quickstart.py
+"""
+
+import asyncio
+
+from repro.clients.workload import Workload
+from repro.runtime.deployment import SERVICES, DeploymentSpec
+from repro.runtime.live import build_live_deployment
+
+
+class ScriptedWorkload(Workload):
+    """Issues a fixed list of operations, then repeats reads."""
+
+    def __init__(self, operations):
+        self.operations = operations
+
+    def next_operation(self, request_index):
+        if request_index < len(self.operations):
+            return self.operations[request_index], 0
+        return ("get", "greeting"), 0
+
+
+async def main():
+    # --- the cluster, from the same spec a benchmark would use -------------
+    script = [
+        ("put", "greeting", "hello, hybrid world"),
+        ("put", "answer", 42),
+        ("get", "answer"),
+        ("keys",),
+        ("get", "greeting"),
+    ]
+    spec = DeploymentSpec(
+        protocol="hybster-x",
+        cores=2,
+        service="kv",
+        num_clients=1,
+        client_window=1,
+        client_machines=1,
+        checkpoint_interval=8,
+        window_size=16,
+        workload_factory=lambda client_id, index: ScriptedWorkload(script),
+    )
+    assert spec.service in SERVICES
+    deployment = build_live_deployment(spec)  # base_port=0: OS-assigned ports
+
+    # --- run ---------------------------------------------------------------
+    async with deployment.transport:
+        for replica in deployment.replicas:
+            replica.start()
+        deployment.start_clients()
+
+        client = deployment.clients[0]
+        deadline = asyncio.get_running_loop().time() + 10.0
+        while client.completed < 20 and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.02)
+        deployment.stop_clients()
+        await asyncio.sleep(0.1)  # drain in-flight replies
+        deployment.kernel.cancel_all()
+
+        print(f"client completed {client.completed} requests over TCP")
+        print(f"last result: {client.last_result!r}")
+        print(f"mean latency: {client.stats.mean_ms:.3f} ms")
+        print()
+        print("replica agreement:")
+        for replica in deployment.replicas:
+            digest = replica.service.state_digestible()
+            print(f"  {replica.replica_id}: view={replica.current_view} state={digest}")
+        states = {str(r.service.state_digestible()) for r in deployment.replicas}
+        assert len(states) == 1, "replicas diverged!"
+        frames = deployment.transport.messages_sent
+        print(f"\nall replicas hold identical state — {frames} frames crossed real sockets.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

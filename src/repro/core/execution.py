@@ -138,6 +138,7 @@ class ExecutionStage(Stage):
             replies.append(self._build_reply(request, result, message.view))
             self.executed_requests += 1
         self.executed_instances += 1
+        self.trace("execute", (message.view, message.order, len(message.batch)))
         if replies:
             self._dispatch_replies(replies)
         if executed_keys and self.handler_address is not None:

@@ -299,6 +299,7 @@ class Pillar(Stage):
         for request in batch:
             self._proposed_keys[request.key] = order
         self.proposals += 1
+        self.trace("propose", (prepare.view, order, len(batch)))
         self._own_inflight += 1
         self._advance_lane(lane, order)
         self.broadcast(list(self.peer_addresses.values()), prepare)
@@ -622,6 +623,7 @@ class Pillar(Stage):
         if order <= self.stable_ck_order:
             return
         self.stable_ck_order = order
+        self.trace("checkpoint-stable", order)
         self.stable_ck_cert = certificate
         self.log.advance(order)
         for lane in range(self.config.num_lanes):

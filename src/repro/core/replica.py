@@ -23,9 +23,9 @@ from repro.core.pillar import Pillar
 from repro.core.viewchange import ViewChangeCoordinator
 from repro.crypto.costs import JAVA
 from repro.crypto.provider import CryptoProvider
+from repro.net.base import Transport
 from repro.services.base import Service
 from repro.sim.kernel import Simulator
-from repro.sim.network import Network
 from repro.sim.process import Endpoint
 from repro.sim.resources import Machine, SimThread
 from repro.sim.tracing import NULL_TRACER, Tracer
@@ -43,7 +43,7 @@ class HybsterReplica:
     def __init__(
         self,
         sim: Simulator,
-        network: Network,
+        network: Transport,
         machine: Machine,
         config: ReplicaGroupConfig,
         replica_id: str,
@@ -197,7 +197,7 @@ class _ThreadAllocator:
 
 def build_group(
     sim: Simulator,
-    network: Network,
+    network: Transport,
     machines: list[Machine],
     config: ReplicaGroupConfig,
     service_factory,

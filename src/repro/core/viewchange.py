@@ -549,6 +549,7 @@ class ViewChangeCoordinator:
             request.key for prepare in prepares for request in prepare.batch
         )
         self.host.send(self.handler_address, ViewInstalled(v_to, covered))
+        self.host.trace("view-installed", v_to)
         self.view_changes_completed += 1
         self._garbage_collect(v_to)
 

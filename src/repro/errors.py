@@ -56,3 +56,24 @@ class WindowViolationError(ProtocolError):
 
 class ServiceError(ReproError):
     """A replicated service rejected an operation (propagated in the reply)."""
+
+
+class WireError(ReproError):
+    """Base class for wire-codec and live-transport errors."""
+
+
+class WireFormatError(WireError):
+    """Received bytes do not parse as a well-formed frame or value."""
+
+
+class WireIntegrityError(WireError):
+    """A frame parsed structurally but its checksum does not match (tampering
+    or corruption in transit)."""
+
+
+class WireUnsupportedTypeError(WireError):
+    """A value of an unregistered or non-serializable type was encoded."""
+
+
+class TransportError(ReproError):
+    """The live transport was misused (unknown node, not started, ...)."""

@@ -4,8 +4,19 @@ from __future__ import annotations
 
 from repro.runtime.benchmark import BenchmarkResult, run_benchmark
 from repro.runtime.deployment import DeploymentSpec, build_deployment
+from repro.sim.tracing import NULL_TRACER, Tracer
 
 MILLISECOND = 1_000_000
+
+# Tracer every measure_point-built deployment emits into.  The experiments
+# CLI installs a real tracer for --trace-out; default is the free no-op.
+_trace_sink: Tracer = NULL_TRACER
+
+
+def set_trace_sink(tracer: Tracer) -> None:
+    """Route traces from subsequently built deployments to ``tracer``."""
+    global _trace_sink
+    _trace_sink = tracer
 
 PROTOCOL_LABELS = {
     "hybster-x": "HybsterX",
@@ -68,5 +79,5 @@ def measure_point(
         service=service,
         workload_factory=workload_factory,
     )
-    deployment = build_deployment(spec)
+    deployment = build_deployment(spec, tracer=_trace_sink)
     return run_benchmark(deployment, warmup_ns=warmup_ns, measure_ns=measure_ns)

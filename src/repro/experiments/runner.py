@@ -13,6 +13,8 @@ import sys
 import time
 
 from repro.experiments import figure5a, figure5b, figure5c, figure6a, figure6b, figure6c, trinx_micro
+from repro.experiments.protocol_common import set_trace_sink
+from repro.sim.tracing import Tracer
 
 EXPERIMENTS = {
     "trinx": trinx_micro.run,
@@ -32,7 +34,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
     parser.add_argument("--scale", choices=("quick", "full"), default="quick")
+    parser.add_argument(
+        "--trace-out",
+        default="",
+        help="write protocol traces of the simulated runs to this JSONL file",
+    )
     args = parser.parse_args(argv)
+
+    tracer = None
+    if args.trace_out:
+        tracer = Tracer(enabled=True)
+        set_trace_sink(tracer)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -40,6 +52,9 @@ def main(argv: list[str] | None = None) -> int:
         result = EXPERIMENTS[name](args.scale)
         print(result.render())
         print(f"({name} took {time.time() - started:.1f}s wall time)\n")
+    if tracer is not None:
+        count = tracer.write_jsonl(args.trace_out)
+        print(f"wrote {count} trace records to {args.trace_out}")
     return 0
 
 

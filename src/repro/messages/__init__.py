@@ -13,8 +13,8 @@ the system:
 """
 
 from repro.messages.base import MESSAGE_HEADER_SIZE, ProtocolMessage
-from repro.messages.client import Reply, Request
-from repro.messages.ordering import Commit, Prepare
+from repro.messages.client import Reply, Request, RequestBurst
+from repro.messages.ordering import Commit, InstanceFetch, Prepare
 from repro.messages.checkpointing import Checkpoint
 from repro.messages.viewchange import NewView, NewViewAck, ViewChange
 from repro.messages.statetransfer import StateRequest, StateResponse
@@ -23,9 +23,11 @@ __all__ = [
     "MESSAGE_HEADER_SIZE",
     "ProtocolMessage",
     "Request",
+    "RequestBurst",
     "Reply",
     "Prepare",
     "Commit",
+    "InstanceFetch",
     "Checkpoint",
     "ViewChange",
     "NewView",

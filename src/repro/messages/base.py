@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-MESSAGE_HEADER_SIZE = 20  # type tag, lengths, sender id — typical framing
+# Type tag, lengths, checksum, sender id.  This is not only an accounting
+# estimate: the real frame header of the wire codec (repro.wire.framing)
+# is laid out to exactly this size, so encoded messages and the bandwidth
+# model charge the same framing overhead.
+MESSAGE_HEADER_SIZE = 20
 
 
 class ProtocolMessage:
@@ -18,6 +22,16 @@ class ProtocolMessage:
 
     def digestible(self):
         raise NotImplementedError
+
+    def wire_padding(self) -> int:
+        """Modelled payload bytes that are not materialized in memory.
+
+        The benchmark messages account for request/reply payloads via a
+        size field instead of carrying real buffers.  The wire codec
+        appends this many zero bytes when encoding, so a live network
+        transmits the bytes the simulator's bandwidth model charges for.
+        """
+        return 0
 
 
 def certificate_size(certificate) -> int:

@@ -33,6 +33,9 @@ class Request(ProtocolMessage):
             32 if self.mac is not None else 0
         )
 
+    def wire_padding(self) -> int:
+        return self.payload_size
+
     @property
     def key(self) -> tuple[str, int]:
         return (self.client_id, self.request_id)
@@ -58,6 +61,9 @@ class Reply(ProtocolMessage):
 
     def wire_size(self) -> int:
         return MESSAGE_HEADER_SIZE + 24 + _operation_size(self.result) + self.result_size
+
+    def wire_padding(self) -> int:
+        return self.result_size
 
     @property
     def match_key(self) -> tuple[int, Any]:

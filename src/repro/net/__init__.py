@@ -1,0 +1,13 @@
+"""Live networking: the transport abstraction and its asyncio implementation.
+
+:mod:`repro.net.base` defines the :class:`~repro.net.base.Transport`
+protocol that every stage sends through — the simulated
+:class:`~repro.sim.network.Network` and the real
+:class:`~repro.net.transport.TcpTransport` are interchangeable behind it.
+"""
+
+from repro.net.base import Transport, TransportStats
+from repro.net.peer import PeerConnection, PeerConfig
+from repro.net.transport import TcpTransport
+
+__all__ = ["Transport", "TransportStats", "PeerConnection", "PeerConfig", "TcpTransport"]

@@ -1,0 +1,64 @@
+"""The transport abstraction every protocol stage sends through.
+
+Replicas, pillars, and clients never talk to sockets or to the simulator
+directly: a :class:`~repro.sim.process.Stage` hands ``(src, dst, message,
+size)`` to whatever transport its endpoint was built with.  Two
+implementations exist:
+
+* :class:`repro.sim.network.Network` — the discrete-event bandwidth and
+  latency model (deterministic simulation);
+* :class:`repro.net.transport.TcpTransport` — real asyncio TCP sockets
+  with the frame codec of :mod:`repro.wire` (live mode).
+
+The interface is structural (:class:`typing.Protocol`): the simulator
+keeps zero knowledge of asyncio and the live transport keeps zero
+knowledge of the event queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What a node-to-node message carrier must provide.
+
+    ``register`` attaches a named node; ``receiver(src_node, message)`` is
+    invoked for every delivered message (the live transport reconstructs
+    the same :class:`~repro.sim.process.Envelope` objects the simulated
+    network carries by reference).  ``send`` transmits one message of an
+    accounted ``size``; ``multicast`` sends an independent copy per
+    destination, consuming sender-side resources for each.
+    """
+
+    def register(
+        self,
+        name: str,
+        receiver: Callable[[str, Any], None],
+        egress_bandwidth: int | None = None,
+        ingress_bandwidth: int | None = None,
+    ) -> Any:
+        ...  # pragma: no cover - protocol
+
+    def send(self, src: str, dst: str, message: Any, size: int) -> None:
+        ...  # pragma: no cover - protocol
+
+    def multicast(self, src: str, dsts: list[str], message: Any, size: int) -> None:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class TransportStats:
+    """Per-node traffic counters (live-mode analogue of a NIC's counters)."""
+
+    name: str
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    messages_dropped: int = 0
+    send_queue_drops: int = 0
+    decode_errors: int = 0
+    peers: dict[str, Any] = field(default_factory=dict)

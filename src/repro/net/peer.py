@@ -1,0 +1,166 @@
+"""One outbound peer connection: bounded queue, reconnect, heartbeats.
+
+Connections are *unidirectional*: the sender dials the receiver's listen
+socket, introduces itself with a HELLO frame, and then streams envelope
+frames.  The receiving side never writes.  This keeps connection
+management trivial (no simultaneous-open dedup) and mirrors how the
+prototype's per-peer sender threads work.
+
+Liveness and flow control:
+
+* **Backpressure** — outgoing frames pass through a bounded queue.  When
+  the peer (or the network) cannot keep up, new frames are dropped and
+  counted instead of growing memory without bound; BFT protocols are
+  built to survive message loss (retransmission timers, client retries),
+  so dropping is strictly better than stalling an entire replica.
+* **Heartbeats** — an idle connection emits a PING frame every
+  ``heartbeat_interval_s`` so dead peers are detected by write failure
+  rather than by silence.
+* **Reconnect** — on any connection error the sender backs off
+  exponentially (``backoff_base_s`` doubling up to ``backoff_max_s``) and
+  dials again; queued frames survive a reconnect.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.wire.framing import KIND_HELLO, KIND_PING, encode_frame, sender_tag
+
+
+@dataclass(frozen=True)
+class PeerConfig:
+    """Tuning knobs for outbound connections."""
+
+    queue_capacity: int = 4096
+    heartbeat_interval_s: float = 2.0
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    connect_timeout_s: float = 5.0
+
+
+@dataclass
+class PeerStats:
+    """Counters exposed per outbound connection."""
+
+    frames_sent: int = 0
+    bytes_sent: int = 0
+    drops: int = 0
+    reconnects: int = 0
+    heartbeats: int = 0
+    connected: bool = False
+
+
+class PeerConnection:
+    """Sender side of one ``src -> dst`` link."""
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        resolve,  # Callable[[], tuple[str, int]] — late-bound address lookup
+        config: PeerConfig = PeerConfig(),
+    ):
+        self.src = src
+        self.dst = dst
+        self._resolve = resolve
+        self.config = config
+        self._queue: asyncio.Queue[bytes] = asyncio.Queue(maxsize=config.queue_capacity)
+        self._task: asyncio.Task | None = None
+        self._closed = False
+        self.stats = PeerStats()
+
+    # ------------------------------------------------------------------
+    def enqueue(self, frame: bytes) -> bool:
+        """Queue a frame for transmission; returns False if it was dropped."""
+        if self._closed:
+            return False
+        self._ensure_running()
+        try:
+            self._queue.put_nowait(frame)
+            return True
+        except asyncio.QueueFull:
+            self.stats.drops += 1
+            return False
+
+    def _ensure_running(self) -> None:
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name=f"peer:{self.src}->{self.dst}"
+            )
+
+    @property
+    def queued(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        backoff = self.config.backoff_base_s
+        hello = encode_frame(KIND_HELLO, 0, self.src.encode("utf-8"), sender=sender_tag(self.src))
+        while not self._closed:
+            writer: asyncio.StreamWriter | None = None
+            try:
+                host, port = self._resolve()
+                _reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), self.config.connect_timeout_s
+                )
+                writer.write(hello)
+                await writer.drain()
+                self.stats.connected = True
+                backoff = self.config.backoff_base_s
+                await self._drain_queue(writer)
+            except asyncio.CancelledError:
+                raise
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                self.stats.connected = False
+                self.stats.reconnects += 1
+                try:
+                    await asyncio.sleep(backoff)
+                except asyncio.CancelledError:
+                    raise
+                backoff = min(backoff * 2, self.config.backoff_max_s)
+            finally:
+                self.stats.connected = False
+                if writer is not None:
+                    writer.close()
+
+    async def _drain_queue(self, writer: asyncio.StreamWriter) -> None:
+        """Ship queued frames; emit a heartbeat when idle."""
+        ping = encode_frame(KIND_PING, 0, b"", sender=sender_tag(self.src))
+        while not self._closed:
+            try:
+                frame = await asyncio.wait_for(
+                    self._queue.get(), timeout=self.config.heartbeat_interval_s
+                )
+            except asyncio.TimeoutError:
+                self.stats.heartbeats += 1
+                writer.write(ping)
+                await writer.drain()
+                continue
+            writer.write(frame)
+            # Opportunistically coalesce whatever else is queued into the
+            # same socket write — the live analogue of the prototype's
+            # batched socket writes.
+            while True:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                writer.write(extra)
+                self.stats.frames_sent += 1
+                self.stats.bytes_sent += len(extra)
+            self.stats.frames_sent += 1
+            self.stats.bytes_sent += len(frame)
+            await writer.drain()
+
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None

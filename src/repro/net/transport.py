@@ -1,0 +1,213 @@
+"""Asyncio TCP transport: real sockets behind the Transport interface.
+
+One :class:`TcpTransport` serves every node hosted by the current process
+(all of them in single-process live mode, exactly one in
+process-per-replica mode).  Each local node gets its own listen socket;
+each ``(local node, remote node)`` pair gets its own outbound
+:class:`~repro.net.peer.PeerConnection`.  Messages always cross a real
+socket — even between two nodes of the same process — so single-process
+live runs exercise the same code paths as distributed ones.
+
+The transport speaks :class:`~repro.sim.process.Envelope` on the inside
+(the same object the simulated network moves by reference) and codec
+frames on the outside.  ``Stage`` code is byte-for-byte identical in sim
+and live mode; only the object handed to ``Endpoint`` differs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Callable
+
+from repro.errors import TransportError, WireError
+from repro.net.base import TransportStats
+from repro.net.peer import PeerConfig, PeerConnection
+from repro.wire.codec import WireCodec, default_codec
+from repro.wire.framing import KIND_ENVELOPE, KIND_HELLO, KIND_PING, FrameReader
+
+log = logging.getLogger("repro.net")
+
+
+class TcpTransport:
+    """A live, frame-encoded implementation of :class:`repro.net.base.Transport`.
+
+    ``directory`` maps node names to ``(host, port)`` listen addresses.  A
+    port of 0 lets the OS choose; the directory is updated with the real
+    port once the server binds, and outbound connections resolve addresses
+    lazily (with reconnect backoff), so start-up order between processes
+    does not matter.
+    """
+
+    def __init__(
+        self,
+        directory: dict[str, tuple[str, int]],
+        codec: WireCodec | None = None,
+        peer_config: PeerConfig = PeerConfig(),
+    ):
+        self.directory = dict(directory)
+        self.codec = codec or default_codec()
+        self.peer_config = peer_config
+        self._receivers: dict[str, Callable[[str, Any], None]] = {}
+        self._servers: dict[str, asyncio.base_events.Server] = {}
+        self._inbound: set[asyncio.StreamWriter] = set()
+        self._peers: dict[tuple[str, str], PeerConnection] = {}
+        self._stats: dict[str, TransportStats] = {}
+        self._started = False
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Transport interface (what Endpoint/Stage call)
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        receiver: Callable[[str, Any], None],
+        egress_bandwidth: int | None = None,
+        ingress_bandwidth: int | None = None,
+    ) -> TransportStats:
+        """Attach a local node.  Bandwidth arguments are accepted for
+        interface parity with the simulated network and ignored — live
+        throughput is whatever the kernel delivers."""
+        if name in self._receivers:
+            raise TransportError(f"node {name!r} already registered")
+        if name not in self.directory:
+            raise TransportError(f"node {name!r} has no directory entry")
+        self._receivers[name] = receiver
+        self._stats[name] = TransportStats(name)
+        return self._stats[name]
+
+    def send(self, src: str, dst: str, message: Any, size: int) -> None:
+        """Encode and ship one stage envelope from ``src`` to ``dst``."""
+        if src not in self._receivers:
+            raise TransportError(f"unknown sender {src!r}")
+        if dst not in self.directory:
+            raise TransportError(f"unknown destination {dst!r}")
+        # `message` is a repro.sim.process.Envelope; unwrap its addressing.
+        src_addr = getattr(message, "src", (src, "?"))
+        dst_stage = getattr(message, "dst_stage", "?")
+        payload = getattr(message, "message", message)
+        frame = self.codec.encode_envelope(src_addr[0], src_addr[1], dst_stage, payload)
+
+        stats = self._stats[src]
+        self.messages_sent += 1
+        peer = self._peer_for(src, dst)
+        if peer.enqueue(frame):
+            stats.messages_sent += 1
+            stats.bytes_sent += len(frame)
+        else:
+            self.messages_dropped += 1
+            stats.send_queue_drops += 1
+
+    def multicast(self, src: str, dsts: list[str], message: Any, size: int) -> None:
+        for dst in dsts:
+            self.send(src, dst, message, size)
+
+    def interface(self, name: str) -> TransportStats:
+        """Traffic counters for a node (parity with ``Network.interface``)."""
+        return self._stats[name]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind one listen socket per registered local node."""
+        if self._started:
+            return
+        for name in self._receivers:
+            host, port = self.directory[name]
+            server = await asyncio.start_server(
+                lambda reader, writer, node=name: self._serve_connection(node, reader, writer),
+                host,
+                port,
+            )
+            actual = server.sockets[0].getsockname()
+            self.directory[name] = (host, actual[1])
+            self._servers[name] = server
+        self._started = True
+
+    async def stop(self) -> None:
+        for peer in self._peers.values():
+            await peer.close()
+        self._peers.clear()
+        for server in self._servers.values():
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        # Server.close() only stops accepting; drop accepted connections too
+        # so a stopped node really goes silent (senders see the reset and
+        # enter reconnect backoff).
+        for writer in list(self._inbound):
+            writer.close()
+        self._inbound.clear()
+        self._started = False
+
+    async def __aenter__(self) -> "TcpTransport":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _peer_for(self, src: str, dst: str) -> PeerConnection:
+        key = (src, dst)
+        peer = self._peers.get(key)
+        if peer is None:
+            peer = PeerConnection(
+                src, dst, resolve=lambda d=dst: self.directory[d], config=self.peer_config
+            )
+            self._peers[key] = peer
+        return peer
+
+    async def _serve_connection(
+        self, node: str, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Read frames from one inbound connection and dispatch envelopes."""
+        from repro.sim.process import Envelope  # local import: avoid cycle at module load
+
+        stats = self._stats.get(node)
+        frame_reader = FrameReader()
+        peer_name = "?"
+        self._inbound.add(writer)
+        try:
+            while True:
+                data = await reader.read(64 * 1024)
+                if not data:
+                    return
+                try:
+                    frames = frame_reader.feed(data)
+                except WireError as exc:
+                    if stats is not None:
+                        stats.decode_errors += 1
+                    log.warning("%s: dropping connection from %s: %s", node, peer_name, exc)
+                    return
+                for frame in frames:
+                    if frame.kind == KIND_HELLO:
+                        peer_name = frame.body.decode("utf-8", "replace")
+                        continue
+                    if frame.kind == KIND_PING:
+                        continue
+                    if frame.kind != KIND_ENVELOPE:
+                        continue
+                    try:
+                        src_node, src_stage, dst_stage, payload = self.codec.decode_envelope(frame)
+                    except WireError as exc:
+                        if stats is not None:
+                            stats.decode_errors += 1
+                        log.warning("%s: undecodable envelope from %s: %s", node, peer_name, exc)
+                        continue
+                    if stats is not None:
+                        stats.messages_received += 1
+                        stats.bytes_received += frame.size
+                    receiver = self._receivers.get(node)
+                    if receiver is not None:
+                        receiver(src_node, Envelope((src_node, src_stage), dst_stage, payload))
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass
+        finally:
+            self._inbound.discard(writer)
+            writer.close()

@@ -1,0 +1,688 @@
+"""Live mode: run Hybster as real asyncio processes over TCP sockets.
+
+The discrete-event simulator executes protocol stages against a virtual
+clock; live mode executes the *same stage code* against the wall clock
+and real localhost sockets.  Three small adapters make that possible:
+
+* :class:`LiveKernel` — implements the scheduling surface of
+  :class:`~repro.sim.kernel.Simulator` (``now``/``schedule``/``cancel``/
+  ``charge``) on top of the asyncio event loop.  ``charge`` is a no-op:
+  live handlers consume real CPU time instead of accounting for it.
+* :class:`LiveThread` / :class:`LiveMachine` — implement the
+  ``submit``/``after_busy`` surface of the simulated CPU model; handlers
+  run on the event loop, and sends deferred with ``after_busy`` flush
+  when the handler returns (same visibility order as the simulator).
+* :class:`~repro.net.transport.TcpTransport` — carries stage envelopes
+  as codec frames over per-peer TCP connections.
+
+``build_live_deployment`` reuses :class:`~repro.runtime.deployment.
+DeploymentSpec` so a benchmark configuration can be replayed live without
+translation (simulation-only fields — NIC bandwidth, latency, the
+calibration profile — are ignored).  A process can host the whole group
+(``local_nodes=None``, the default: in-process tasks over localhost
+sockets) or any subset of nodes (process-per-replica mode, used by the
+``repro-live --processes`` runner).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.clients.client import Client
+from repro.clients.stats import LatencyStats
+from repro.core.config import ReplicaGroupConfig
+from repro.core.replica import HybsterReplica
+from repro.crypto.costs import JAVA
+from repro.crypto.provider import CryptoProvider
+from repro.errors import ConfigurationError
+from repro.net.peer import PeerConfig
+from repro.net.transport import TcpTransport
+from repro.runtime.deployment import SERVICES, DeploymentSpec, _num_pillars, _replica_ids
+from repro.sim.process import Endpoint
+from repro.sim.tracing import NULL_TRACER, Tracer
+
+LIVE_PROTOCOLS = ("hybster-s", "hybster-x")
+DEFAULT_BASE_PORT = 47000
+
+
+# ----------------------------------------------------------------------
+# Simulator-surface adapters
+# ----------------------------------------------------------------------
+class LiveTimer:
+    """A cancellable scheduled callback (live analogue of sim Event)."""
+
+    __slots__ = ("kernel", "handle", "cancelled", "fired")
+
+    def __init__(self, kernel: "LiveKernel"):
+        self.kernel = kernel
+        self.handle: asyncio.TimerHandle | None = None
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        if not self.cancelled and not self.fired:
+            self.cancelled = True
+            if self.handle is not None:
+                self.handle.cancel()
+            self.kernel._timers.discard(self)
+
+
+class LiveKernel:
+    """The Simulator API surface, backed by the asyncio event loop.
+
+    ``now`` is integer nanoseconds since kernel creation (monotonic), so
+    latency statistics and traces use the same unit as the simulator.
+    """
+
+    def __init__(self) -> None:
+        self._bound_loop: asyncio.AbstractEventLoop | None = None
+        self._t0 = time.monotonic()
+        self._timers: set[LiveTimer] = set()
+        self.events_processed = 0
+
+    @property
+    def _loop(self) -> asyncio.AbstractEventLoop:
+        # Bound lazily so deployments can be *built* outside a running
+        # loop (inspection, partial construction) and *run* inside one.
+        if self._bound_loop is None:
+            self._bound_loop = asyncio.get_running_loop()
+        return self._bound_loop
+
+    @property
+    def now(self) -> int:
+        return int((time.monotonic() - self._t0) * 1e9)
+
+    # -- scheduling ----------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> LiveTimer:
+        timer = LiveTimer(self)
+        timer.handle = self._loop.call_later(
+            max(0, delay) / 1e9, self._fire, timer, callback, args
+        )
+        self._timers.add(timer)
+        return timer
+
+    def schedule_at(self, time_ns: int, callback: Callable[..., None], *args: Any) -> LiveTimer:
+        return self.schedule(time_ns - self.now, callback, *args)
+
+    def _fire(self, timer: LiveTimer, callback: Callable[..., None], args: tuple) -> None:
+        self._timers.discard(timer)
+        if timer.cancelled:
+            return
+        timer.fired = True
+        self.events_processed += 1
+        callback(*args)
+
+    def cancel(self, timer: LiveTimer) -> None:
+        timer.cancel()
+
+    def cancel_all(self) -> None:
+        """Tear down every outstanding timer (clean shutdown)."""
+        for timer in list(self._timers):
+            timer.cancel()
+
+    # -- cost accounting -----------------------------------------------
+    def charge(self, cost_ns: int) -> None:
+        """Live handlers burn real CPU; modelled costs are dropped."""
+
+
+class LiveThread:
+    """The SimThread surface: run handlers on the loop, defer sends.
+
+    The simulator's contract that a handler's outgoing messages become
+    visible only after the handler finishes is preserved: actions queued
+    with :meth:`after_busy` run right after the handler returns.
+    """
+
+    def __init__(self, kernel: LiveKernel, name: str):
+        self.kernel = kernel
+        self.name = name
+        self._deferred: list[Callable[[], None]] = []
+        self.handlers_run = 0
+        self.handler_errors = 0
+        self.busy_ns = 0  # stats parity with SimThread; live CPU is real
+
+    def submit(self, handler: Callable[[Any], None], arg: Any = None) -> None:
+        self.kernel._loop.call_soon(self._run, handler, arg)
+
+    def after_busy(self, action: Callable[[], None]) -> None:
+        self._deferred.append(action)
+
+    def _run(self, handler: Callable[[Any], None], arg: Any) -> None:
+        started = time.monotonic()
+        self._deferred = []
+        try:
+            handler(arg)
+        except Exception:  # noqa: BLE001 — a stage bug must not kill the node
+            self.handler_errors += 1
+            import traceback
+
+            traceback.print_exc(file=sys.stderr)
+        deferred, self._deferred = self._deferred, []
+        for action in deferred:
+            action()
+        self.handlers_run += 1
+        self.busy_ns += int((time.monotonic() - started) * 1e9)
+
+
+class LiveMachine:
+    """The Machine surface: hands out LiveThreads; placement is the OS's job."""
+
+    def __init__(self, kernel: LiveKernel, name: str, hardware_threads: int = 64):
+        self.kernel = kernel
+        self.name = name
+        self.hardware_threads = hardware_threads
+        self.threads: list[LiveThread] = []
+
+    def allocate_thread(self, name: str, base_cost_ns: int = 0) -> LiveThread:
+        thread = LiveThread(self.kernel, f"{self.name}/{name}")
+        self.threads.append(thread)
+        return thread
+
+
+# ----------------------------------------------------------------------
+# Deployment construction
+# ----------------------------------------------------------------------
+def live_directory(
+    spec: DeploymentSpec, host: str = "127.0.0.1", base_port: int = 0
+) -> dict[str, tuple[str, int]]:
+    """Listen addresses for every node of ``spec``'s group.
+
+    With ``base_port=0`` the OS assigns ports at bind time (single-process
+    runs); with a fixed base port the layout is deterministic — replica i
+    at ``base_port + i``, client machine j at ``base_port + 64 + j`` — so
+    separate OS processes derive identical directories from the spec.
+    """
+    directory: dict[str, tuple[str, int]] = {}
+    for index, rid in enumerate(_replica_ids(spec.protocol)):
+        directory[rid] = (host, base_port + index if base_port else 0)
+    for j in range(spec.client_machines):
+        directory[f"clients{j}"] = (host, base_port + 64 + j if base_port else 0)
+    return directory
+
+
+@dataclass
+class LiveDeployment:
+    """A (possibly partial) live cluster hosted by this process."""
+
+    spec: DeploymentSpec
+    kernel: LiveKernel
+    transport: TcpTransport
+    config: ReplicaGroupConfig
+    replicas: list[HybsterReplica]
+    clients: list[Client]
+    local_nodes: tuple[str, ...]
+    tracer: Tracer = NULL_TRACER
+
+    async def start(self) -> None:
+        """Bind listen sockets and arm the replicas' protocol timers."""
+        await self.transport.start()
+        for replica in self.replicas:
+            replica.start()
+
+    def start_clients(self) -> None:
+        for client in self.clients:
+            client.start()
+
+    def stop_clients(self) -> None:
+        for client in self.clients:
+            client.stop()
+
+    async def stop(self) -> None:
+        """Cancel every timer and close every socket this process owns."""
+        self.kernel.cancel_all()
+        await self.transport.stop()
+
+    def total_completed(self) -> int:
+        return sum(client.completed for client in self.clients)
+
+
+def build_live_deployment(
+    spec: DeploymentSpec,
+    *,
+    tracer: Tracer = NULL_TRACER,
+    host: str = "127.0.0.1",
+    base_port: int = 0,
+    local_nodes: list[str] | None = None,
+    peer_config: PeerConfig = PeerConfig(),
+) -> LiveDeployment:
+    """Construct the live cluster (or this process's share of it).
+
+    ``local_nodes=None`` hosts every replica and client machine in this
+    process; otherwise only the named nodes are built — the rest of the
+    group is expected to run elsewhere and is reached via the directory.
+    """
+    if spec.protocol not in LIVE_PROTOCOLS:
+        raise ConfigurationError(
+            f"live mode supports {LIVE_PROTOCOLS}, not {spec.protocol!r} "
+            "(the baseline protocols still run in the simulator)"
+        )
+    if spec.service not in SERVICES:
+        raise ConfigurationError(f"unknown service {spec.service!r}")
+
+    kernel = LiveKernel()
+    directory = live_directory(spec, host, base_port)
+    transport = TcpTransport(directory, peer_config=peer_config)
+
+    replica_ids = _replica_ids(spec.protocol)
+    client_nodes = tuple(f"clients{j}" for j in range(spec.client_machines))
+    if local_nodes is None:
+        local = tuple(replica_ids) + client_nodes
+    else:
+        unknown = set(local_nodes) - set(directory)
+        if unknown:
+            raise ConfigurationError(f"nodes {sorted(unknown)} are not part of the group")
+        local = tuple(local_nodes)
+
+    config = ReplicaGroupConfig(
+        replica_ids=replica_ids,
+        num_pillars=_num_pillars(spec.protocol, spec.cores),
+        batch_size=spec.batch_size,
+        rotation=spec.rotation,
+        checkpoint_interval=spec.checkpoint_interval,
+        window_size=spec.window_size,
+        noop_delay_ns=spec.noop_delay_ns,
+    )
+    service_factory = SERVICES[spec.service]
+
+    replicas: list[HybsterReplica] = []
+    for rid in replica_ids:
+        if rid not in local:
+            continue
+        machine = LiveMachine(kernel, rid)
+        replica = HybsterReplica(
+            kernel,  # type: ignore[arg-type] — duck-typed Simulator surface
+            transport,
+            machine,  # type: ignore[arg-type] — duck-typed Machine surface
+            config,
+            rid,
+            service_factory(),
+            reply_payload_size=spec.reply_payload_size,
+            tracer=tracer,
+        )
+        _wire_peer_addresses(replica, config)
+        replicas.append(replica)
+
+    clients: list[Client] = []
+    for j, node in enumerate(client_nodes):
+        if node not in local:
+            continue
+        machine = LiveMachine(kernel, node)
+        endpoint = Endpoint(kernel, transport, node, tracer)  # type: ignore[arg-type]
+        for index in range(spec.num_clients):
+            if index % spec.client_machines != j:
+                continue
+            name = f"c{index}"
+            client_id = f"{node}:{name}"
+            clients.append(
+                Client(
+                    endpoint,
+                    machine.allocate_thread(name),  # type: ignore[arg-type]
+                    config,
+                    name,
+                    spec.make_workload(client_id, index),
+                    window=spec.client_window,
+                    crypto=CryptoProvider(JAVA, charge=kernel.charge),
+                )
+            )
+
+    return LiveDeployment(
+        spec=spec,
+        kernel=kernel,
+        transport=transport,
+        config=config,
+        replicas=replicas,
+        clients=clients,
+        local_nodes=local,
+        tracer=tracer,
+    )
+
+
+def _wire_peer_addresses(replica: HybsterReplica, config: ReplicaGroupConfig) -> None:
+    """Point a replica at its peers by name alone.
+
+    The simulated builder wires peers object-to-object; live replicas may
+    live in different OS processes, but peer addresses are fully
+    determined by the group configuration (pillar counts are identical
+    across the group), so names suffice.
+    """
+    for peer_id in config.replica_ids:
+        if peer_id == replica.replica_id:
+            continue
+        for index, pillar in enumerate(replica.pillars):
+            pillar.peer_addresses[peer_id] = (peer_id, f"pillar{index}")
+        replica.coordinator.peer_exec_addresses[peer_id] = (peer_id, "exec")
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+@dataclass
+class LiveRunResult:
+    """Outcome of one live run (this process's clients)."""
+
+    protocol: str
+    completed: int
+    elapsed_s: float
+    latency: LatencyStats
+    retries: int
+    replica_stats: list[dict] = field(default_factory=list)
+    transport_sent: int = 0
+    transport_dropped: int = 0
+    state_digests: list[str] = field(default_factory=list)
+
+    @property
+    def throughput_ops(self) -> float:
+        return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "completed": self.completed,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "throughput_ops": round(self.throughput_ops, 1),
+            "mean_latency_ms": round(self.latency.mean_ms, 3) if self.latency.count else None,
+            "retries": self.retries,
+            "transport_sent": self.transport_sent,
+            "transport_dropped": self.transport_dropped,
+            "state_digests": self.state_digests,
+        }
+
+    def __str__(self) -> str:
+        latency = f"{self.latency.mean_ms:.3f} ms" if self.latency.count else "n/a"
+        return (
+            f"{self.protocol} (live): {self.completed} requests in {self.elapsed_s:.2f} s "
+            f"({self.throughput_ops:.0f} ops/s), mean latency {latency}, "
+            f"{self.transport_sent} frames sent, {self.transport_dropped} dropped"
+        )
+
+
+def _collect_result(deployment: LiveDeployment, elapsed_s: float) -> LiveRunResult:
+    latency = LatencyStats()
+    for client in deployment.clients:
+        latency.merge(client.stats)
+    return LiveRunResult(
+        protocol=deployment.spec.protocol,
+        completed=deployment.total_completed(),
+        elapsed_s=elapsed_s,
+        latency=latency,
+        retries=sum(client.retries for client in deployment.clients),
+        replica_stats=[replica.stats() for replica in deployment.replicas],
+        transport_sent=deployment.transport.messages_sent,
+        transport_dropped=deployment.transport.messages_dropped,
+        state_digests=[
+            str(replica.service.state_digestible()) for replica in deployment.replicas
+        ],
+    )
+
+
+async def run_live(
+    spec: DeploymentSpec,
+    *,
+    target_requests: int = 100,
+    max_duration_s: float = 10.0,
+    tracer: Tracer = NULL_TRACER,
+    host: str = "127.0.0.1",
+    base_port: int = 0,
+) -> LiveRunResult:
+    """Boot the whole group in this process and run until ``target_requests``
+    complete (or ``max_duration_s`` elapses).  The canonical quickstart /
+    smoke-test entry point."""
+    deployment = build_live_deployment(
+        spec, tracer=tracer, host=host, base_port=base_port
+    )
+    started = time.monotonic()
+    try:
+        await deployment.start()
+        deployment.start_clients()
+        while (
+            deployment.total_completed() < target_requests
+            and time.monotonic() - started < max_duration_s
+        ):
+            await asyncio.sleep(0.02)
+        deployment.stop_clients()
+        await asyncio.sleep(0.05)  # let in-flight replies drain
+        return _collect_result(deployment, time.monotonic() - started)
+    finally:
+        await deployment.stop()
+
+
+async def run_live_node(
+    spec: DeploymentSpec,
+    node: str,
+    *,
+    target_requests: int = 0,
+    max_duration_s: float = 30.0,
+    tracer: Tracer = NULL_TRACER,
+    host: str = "127.0.0.1",
+    base_port: int = DEFAULT_BASE_PORT,
+    stop_event: asyncio.Event | None = None,
+) -> LiveRunResult:
+    """Run a single node of the group in this OS process.
+
+    Replica nodes serve until ``stop_event`` fires (the parent's SIGTERM)
+    or ``max_duration_s`` expires; client nodes additionally stop as soon
+    as their share of ``target_requests`` completed.
+    """
+    deployment = build_live_deployment(
+        spec, tracer=tracer, host=host, base_port=base_port, local_nodes=[node]
+    )
+    started = time.monotonic()
+    try:
+        await deployment.start()
+        deployment.start_clients()
+        while time.monotonic() - started < max_duration_s:
+            if stop_event is not None and stop_event.is_set():
+                break
+            if (
+                deployment.clients
+                and target_requests
+                and deployment.total_completed() >= target_requests
+            ):
+                break
+            await asyncio.sleep(0.05)
+        deployment.stop_clients()
+        await asyncio.sleep(0.05)
+        return _collect_result(deployment, time.monotonic() - started)
+    finally:
+        await deployment.stop()
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _spec_from_args(args: argparse.Namespace) -> DeploymentSpec:
+    return DeploymentSpec(
+        protocol=args.protocol,
+        cores=args.cores,
+        service=args.service,
+        batch_size=args.batch_size,
+        rotation=args.rotation,
+        num_clients=args.clients,
+        client_window=args.window,
+        client_machines=args.client_machines,
+        payload_size=args.payload_size,
+        checkpoint_interval=args.checkpoint_interval,
+        window_size=args.window_size,
+    )
+
+
+def _write_trace(tracer: Tracer, path: str, node: str | None = None) -> None:
+    if not path:
+        return
+    target = f"{path}.{node}.jsonl" if node else path
+    tracer.write_jsonl(target)
+
+
+async def _run_group_processes(args: argparse.Namespace) -> int:
+    """Process-per-node mode: spawn one child per replica and client node."""
+    spec = _spec_from_args(args)
+    if args.base_port == 0:
+        args.base_port = DEFAULT_BASE_PORT
+    nodes = list(_replica_ids(spec.protocol)) + [
+        f"clients{j}" for j in range(spec.client_machines)
+    ]
+    children: dict[str, asyncio.subprocess.Process] = {}
+    passthrough = [
+        "--protocol", spec.protocol, "--service", spec.service,
+        "--cores", str(spec.cores), "--batch-size", str(spec.batch_size),
+        "--clients", str(spec.num_clients), "--window", str(spec.client_window),
+        "--client-machines", str(spec.client_machines),
+        "--payload-size", str(spec.payload_size),
+        "--checkpoint-interval", str(spec.checkpoint_interval),
+        "--window-size", str(spec.window_size),
+        "--requests", str(args.requests), "--duration", str(args.duration),
+        "--base-port", str(args.base_port), "--host", args.host,
+    ]
+    if spec.rotation:
+        passthrough.append("--rotation")
+    if args.trace_out:
+        passthrough += ["--trace-out", args.trace_out]
+    try:
+        for node in nodes:
+            children[node] = await asyncio.create_subprocess_exec(
+                sys.executable, "-m", "repro.runtime.live", "--role", "node",
+                "--node", node, *passthrough,
+                stdout=asyncio.subprocess.PIPE,
+            )
+        total = 0
+        for node, child in children.items():
+            if not node.startswith("clients"):
+                continue
+            raw, _ = await asyncio.wait_for(
+                child.communicate(), timeout=args.duration + 15
+            )
+            result = json.loads(raw.decode() or "{}")
+            total += result.get("completed", 0)
+            print(f"{node}: {result}")
+        print(f"total completed across client processes: {total}")
+        return 0 if total >= args.requests else 1
+    finally:
+        for child in children.values():
+            if child.returncode is None:
+                child.terminate()
+        for child in children.values():
+            if child.returncode is None:
+                try:
+                    await asyncio.wait_for(child.wait(), timeout=5)
+                except asyncio.TimeoutError:
+                    child.kill()
+        if args.trace_out:
+            _merge_child_traces(args.trace_out, nodes)
+
+
+def _merge_child_traces(path: str, nodes: list[str]) -> None:
+    import os
+
+    tracers = []
+    for node in nodes:
+        part = f"{path}.{node}.jsonl"
+        if os.path.exists(part):
+            tracers.append(Tracer.load_jsonl(part))
+    if tracers:
+        Tracer.merge(*tracers).write_jsonl(path)
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    tracer = Tracer(enabled=True) if args.trace_out else NULL_TRACER
+    if args.role == "node":
+        # the parent stops replica children with SIGTERM; exit cleanly so
+        # traces and stats still get written
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stop_event.set)
+        result = await run_live_node(
+            _spec_from_args(args),
+            args.node,
+            target_requests=_per_node_target(args),
+            max_duration_s=args.duration,
+            tracer=tracer,
+            host=args.host,
+            base_port=args.base_port or DEFAULT_BASE_PORT,
+            stop_event=stop_event,
+        )
+        _write_trace(tracer, args.trace_out, node=args.node)
+        print(json.dumps(result.to_json()))
+        return 0
+    if args.processes:
+        return await _run_group_processes(args)
+    result = await run_live(
+        _spec_from_args(args),
+        target_requests=args.requests,
+        max_duration_s=args.duration,
+        tracer=tracer,
+        host=args.host,
+        base_port=args.base_port,
+    )
+    _write_trace(tracer, args.trace_out)
+    print(result)
+    if result.state_digests and len(set(result.state_digests)) != 1:
+        print("ERROR: replica states diverged", file=sys.stderr)
+        return 2
+    if result.completed < args.requests:
+        print(
+            f"ERROR: only {result.completed}/{args.requests} requests completed "
+            f"within {args.duration:.0f} s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _per_node_target(args: argparse.Namespace) -> int:
+    """A client process's share of the request target (replicas: unlimited)."""
+    if not args.node.startswith("clients"):
+        return 0
+    # Each client machine hosts an equal share of the clients; stopping at
+    # a proportional share keeps process-mode runs from waiting on the
+    # slowest machine longer than necessary.
+    return max(1, args.requests // max(1, args.client_machines))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-live",
+        description="Run a Hybster group live over localhost TCP sockets",
+    )
+    parser.add_argument("--protocol", choices=LIVE_PROTOCOLS, default="hybster-s")
+    parser.add_argument("--service", choices=sorted(SERVICES), default="counter")
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--batch-size", type=int, default=1)
+    parser.add_argument("--rotation", action="store_true")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--window", type=int, default=8)
+    parser.add_argument("--client-machines", type=int, default=1)
+    parser.add_argument("--payload-size", type=int, default=0)
+    parser.add_argument("--checkpoint-interval", type=int, default=128)
+    parser.add_argument("--window-size", type=int, default=1024)
+    parser.add_argument("--requests", type=int, default=100,
+                        help="stop once this many requests completed")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="hard wall-clock limit in seconds")
+    parser.add_argument("--base-port", type=int, default=0,
+                        help="0 = OS-assigned (single process only)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--trace-out", default="",
+                        help="write a JSONL trace (merged across processes)")
+    parser.add_argument("--processes", action="store_true",
+                        help="one OS process per replica / client machine")
+    parser.add_argument("--role", choices=("group", "node"), default="group",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--node", default="", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.role == "node" and not args.node:
+        parser.error("--role node requires --node")
+    return asyncio.run(_amain(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

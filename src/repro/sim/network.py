@@ -66,7 +66,13 @@ class NetworkInterface:
 
 
 class Network:
-    """Connects named nodes; delivers messages with latency and bandwidth."""
+    """Connects named nodes; delivers messages with latency and bandwidth.
+
+    This is the simulated implementation of the
+    :class:`~repro.net.base.Transport` interface; the asyncio TCP
+    transport (:class:`~repro.net.transport.TcpTransport`) is the live
+    one.  Stages and endpoints work with either.
+    """
 
     def __init__(
         self,

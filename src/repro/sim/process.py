@@ -9,8 +9,11 @@ incoming messages to the addressed stage.
 Addressing: a stage is reached at ``(node, stage_name)``.  Sends between
 stages of the same node bypass the network entirely — this is the
 asynchronous in-memory message passing of the consensus-oriented
-parallelization scheme — while remote sends go through the bandwidth and
-latency model in :mod:`repro.sim.network`.
+parallelization scheme — while remote sends go through whatever
+:class:`~repro.net.base.Transport` the endpoint was built with: the
+bandwidth/latency model of :mod:`repro.sim.network` in simulation, or
+real TCP sockets (:mod:`repro.net.transport`) in live mode.  Stage code
+is identical in both.
 
 All outgoing communication initiated inside a handler is deferred until
 the handler's CPU busy period ends, so no stage can emit a message before
@@ -22,9 +25,9 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.net.base import Transport
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
-from repro.sim.network import Network
 from repro.sim.resources import SimThread
 from repro.sim.tracing import NULL_TRACER, Tracer
 
@@ -45,7 +48,7 @@ class Envelope:
 class Endpoint:
     """A machine's network identity; dispatches envelopes to its stages."""
 
-    def __init__(self, sim: Simulator, network: Network, node: str, tracer: Tracer = NULL_TRACER):
+    def __init__(self, sim: Simulator, network: Transport, node: str, tracer: Tracer = NULL_TRACER):
         self.sim = sim
         self.network = network
         self.node = node

@@ -9,6 +9,7 @@ when disabled.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -52,6 +53,62 @@ class Tracer:
 
     def dump(self) -> str:
         return "\n".join(str(record) for record in self.records)
+
+    # ------------------------------------------------------------------
+    # JSONL export / import (live mode runs one tracer per OS process;
+    # merging their exports reconstructs a cluster-wide timeline)
+    # ------------------------------------------------------------------
+    def write_jsonl(self, path: str) -> int:
+        """Write one JSON object per record; returns the record count.
+
+        Details that are not JSON-serializable are stringified — traces
+        are diagnostics, not state, so lossy detail is acceptable.
+        """
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.records:
+                fh.write(
+                    json.dumps(
+                        {
+                            "time_ns": record.time_ns,
+                            "node": record.node,
+                            "category": record.category,
+                            "detail": record.detail,
+                        },
+                        default=str,
+                    )
+                )
+                fh.write("\n")
+        return len(self.records)
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "Tracer":
+        """Read a trace previously written with :meth:`write_jsonl`."""
+        tracer = cls(enabled=True)
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                tracer.records.append(
+                    TraceRecord(
+                        int(obj["time_ns"]), obj["node"], obj["category"], obj.get("detail")
+                    )
+                )
+        return tracer
+
+    @classmethod
+    def merge(cls, *tracers: "Tracer") -> "Tracer":
+        """Combine traces from several processes, ordered by timestamp.
+
+        Timestamps are per-process monotonic clocks, so cross-process
+        ordering is approximate — good enough for timeline inspection.
+        """
+        merged = cls(enabled=True)
+        for tracer in tracers:
+            merged.records.extend(tracer.records)
+        merged.records.sort(key=lambda r: (r.time_ns, r.node))
+        return merged
 
 
 NULL_TRACER = Tracer(enabled=False)

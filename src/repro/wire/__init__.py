@@ -1,0 +1,51 @@
+"""Wire format: deterministic binary codec and frame parsing.
+
+This package turns the in-memory protocol messages of :mod:`repro.messages`
+into bytes and back, so Hybster can run over real sockets instead of only
+inside the discrete-event simulator.  :mod:`repro.wire.codec` holds the
+type registry and the value codec; :mod:`repro.wire.framing` holds the
+length-prefixed frame header and the incremental stream parser used by the
+asyncio transport.
+"""
+
+from repro.wire.codec import (
+    WireCodec,
+    WireSizeDelta,
+    default_codec,
+    decode_envelope,
+    decode_message,
+    encode_envelope,
+    encode_message,
+    encoded_size,
+)
+from repro.wire.framing import (
+    FRAME_HEADER_SIZE,
+    KIND_ENVELOPE,
+    KIND_HELLO,
+    KIND_MESSAGE,
+    KIND_PING,
+    Frame,
+    FrameReader,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "WireCodec",
+    "WireSizeDelta",
+    "default_codec",
+    "decode_envelope",
+    "decode_message",
+    "encode_envelope",
+    "encode_message",
+    "encoded_size",
+    "FRAME_HEADER_SIZE",
+    "KIND_ENVELOPE",
+    "KIND_HELLO",
+    "KIND_MESSAGE",
+    "KIND_PING",
+    "Frame",
+    "FrameReader",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,461 @@
+"""Deterministic binary codec for protocol messages.
+
+The codec assigns every message dataclass a stable numeric type id
+(sorted by qualified name, so every process derives the same table from
+the same code) and encodes instances as tagged values:
+
+* scalars — ``None``, bools, arbitrary-precision ints (zigzag + LEB128),
+  floats (IEEE-754 big-endian), UTF-8 strings, bytes;
+* containers — tuples, lists, dicts, frozensets (sorted for determinism);
+* registered dataclasses — type id + fields in declaration order, followed
+  by *modelled padding*: messages that account for benchmark payloads
+  without materializing them (``Request.payload_size`` et al.) declare the
+  byte count via :meth:`~repro.messages.base.ProtocolMessage.wire_padding`
+  and the codec puts real zero bytes on the wire, so a live network carries
+  the load the bandwidth model charges for.
+
+Every registered type round-trips exactly: ``decode(encode(m)) == m``,
+including nested messages, TrInX certificates, and MAC authenticators.
+Malformed or tampered bytes raise typed errors
+(:class:`~repro.errors.WireFormatError`,
+:class:`~repro.errors.WireIntegrityError`) instead of yielding garbage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, Iterable
+
+from repro.errors import WireFormatError, WireUnsupportedTypeError
+from repro.messages.base import MESSAGE_HEADER_SIZE
+from repro.wire.framing import (
+    KIND_ENVELOPE,
+    KIND_MESSAGE,
+    Frame,
+    decode_frame,
+    encode_frame,
+    sender_tag,
+)
+
+# Value tags.
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_TUPLE = 0x07
+_T_LIST = 0x08
+_T_DICT = 0x09
+_T_FROZENSET = 0x0A
+_T_DATACLASS = 0x0B
+
+_FLOAT = struct.Struct(">d")
+_MAX_DEPTH = 64
+
+
+# ----------------------------------------------------------------------
+# Varints
+# ----------------------------------------------------------------------
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _zigzag(value: int) -> int:
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def _unzigzag(value: int) -> int:
+    return value // 2 if value % 2 == 0 else -(value + 1) // 2
+
+
+class _Cursor:
+    """Bounds-checked reader over an immutable byte buffer."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        if count < 0 or self.pos + count > len(self.data):
+            raise WireFormatError(
+                f"truncated value: need {count} bytes at offset {self.pos}, "
+                f"buffer holds {len(self.data)}"
+            )
+        chunk = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def skip(self, count: int) -> None:
+        if count < 0 or self.pos + count > len(self.data):
+            raise WireFormatError(f"truncated padding: need {count} bytes at offset {self.pos}")
+        self.pos += count
+
+    def read_uvarint(self) -> int:
+        shift = 0
+        result = 0
+        while True:
+            if self.pos >= len(self.data):
+                raise WireFormatError("truncated varint")
+            if shift > 70:  # > 10 bytes: not produced by this codec
+                raise WireFormatError("varint too long")
+            byte = self.data[self.pos]
+            self.pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.data)
+
+
+# ----------------------------------------------------------------------
+# Type registry
+# ----------------------------------------------------------------------
+_DEFAULT_MODULES = (
+    "repro.crypto.authenticators",
+    "repro.messages.checkpointing",
+    "repro.messages.client",
+    "repro.messages.internal",
+    "repro.messages.ordering",
+    "repro.messages.statetransfer",
+    "repro.messages.viewchange",
+    "repro.trinx.certificates",
+)
+
+
+def _module_dataclasses(module_name: str) -> Iterable[type]:
+    import importlib
+
+    module = importlib.import_module(module_name)
+    for name in sorted(vars(module)):
+        obj = getattr(module, name)
+        if (
+            isinstance(obj, type)
+            and dataclasses.is_dataclass(obj)
+            and obj.__module__ == module_name
+        ):
+            yield obj
+
+
+class WireCodec:
+    """A codec instance: type table plus encode/decode entry points."""
+
+    def __init__(self, types: Iterable[type] | None = None):
+        if types is None:
+            types = [cls for mod in _DEFAULT_MODULES for cls in _module_dataclasses(mod)]
+        ordered = sorted(set(types), key=lambda cls: (cls.__module__, cls.__qualname__))
+        self._type_by_id: dict[int, type] = {}
+        self._id_by_type: dict[type, int] = {}
+        self._fields_by_type: dict[type, tuple] = {}
+        for type_id, cls in enumerate(ordered, start=1):
+            if not dataclasses.is_dataclass(cls):
+                raise WireUnsupportedTypeError(f"{cls!r} is not a dataclass")
+            self._type_by_id[type_id] = cls
+            self._id_by_type[cls] = type_id
+            self._fields_by_type[cls] = dataclasses.fields(cls)
+
+    # ------------------------------------------------------------------
+    # Registry introspection
+    # ------------------------------------------------------------------
+    @property
+    def registered_types(self) -> tuple[type, ...]:
+        return tuple(self._type_by_id[type_id] for type_id in sorted(self._type_by_id))
+
+    def type_id_of(self, cls: type) -> int:
+        try:
+            return self._id_by_type[cls]
+        except KeyError:
+            raise WireUnsupportedTypeError(
+                f"{cls.__module__}.{cls.__qualname__} is not a registered wire type"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Value encoding
+    # ------------------------------------------------------------------
+    def _encode_value(self, out: bytearray, value: Any, depth: int = 0) -> None:
+        if depth > _MAX_DEPTH:
+            raise WireUnsupportedTypeError(f"value nesting exceeds {_MAX_DEPTH} levels")
+        if value is None:
+            out.append(_T_NONE)
+        elif value is True:
+            out.append(_T_TRUE)
+        elif value is False:
+            out.append(_T_FALSE)
+        elif isinstance(value, int):
+            out.append(_T_INT)
+            _write_uvarint(out, _zigzag(value))
+        elif isinstance(value, float):
+            out.append(_T_FLOAT)
+            out.extend(_FLOAT.pack(value))
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            out.append(_T_STR)
+            _write_uvarint(out, len(raw))
+            out.extend(raw)
+        elif isinstance(value, (bytes, bytearray, memoryview)):
+            raw = bytes(value)
+            out.append(_T_BYTES)
+            _write_uvarint(out, len(raw))
+            out.extend(raw)
+        elif isinstance(value, tuple):
+            out.append(_T_TUPLE)
+            _write_uvarint(out, len(value))
+            for item in value:
+                self._encode_value(out, item, depth + 1)
+        elif isinstance(value, list):
+            out.append(_T_LIST)
+            _write_uvarint(out, len(value))
+            for item in value:
+                self._encode_value(out, item, depth + 1)
+        elif isinstance(value, dict):
+            out.append(_T_DICT)
+            _write_uvarint(out, len(value))
+            for key, item in value.items():
+                self._encode_value(out, key, depth + 1)
+                self._encode_value(out, item, depth + 1)
+        elif isinstance(value, frozenset):
+            encoded_items = []
+            for item in value:
+                item_out = bytearray()
+                self._encode_value(item_out, item, depth + 1)
+                encoded_items.append(bytes(item_out))
+            out.append(_T_FROZENSET)
+            _write_uvarint(out, len(encoded_items))
+            for chunk in sorted(encoded_items):
+                out.extend(chunk)
+        elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+            self._encode_dataclass(out, value, depth)
+        else:
+            raise WireUnsupportedTypeError(
+                f"cannot encode value of type {type(value).__qualname__}"
+            )
+
+    def _encode_dataclass(self, out: bytearray, value: Any, depth: int) -> None:
+        cls = type(value)
+        type_id = self.type_id_of(cls)
+        fields = self._fields_by_type[cls]
+        out.append(_T_DATACLASS)
+        _write_uvarint(out, type_id)
+        _write_uvarint(out, len(fields))
+        for field in fields:
+            self._encode_value(out, getattr(value, field.name), depth + 1)
+        padding = 0
+        wire_padding = getattr(value, "wire_padding", None)
+        if callable(wire_padding):
+            padding = max(0, int(wire_padding()))
+        _write_uvarint(out, padding)
+        out.extend(b"\x00" * padding)
+
+    # ------------------------------------------------------------------
+    # Value decoding
+    # ------------------------------------------------------------------
+    def _decode_value(self, cursor: _Cursor, depth: int = 0) -> Any:
+        if depth > _MAX_DEPTH:
+            raise WireFormatError(f"value nesting exceeds {_MAX_DEPTH} levels")
+        tag = cursor.take(1)[0]
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT:
+            return _unzigzag(cursor.read_uvarint())
+        if tag == _T_FLOAT:
+            return _FLOAT.unpack(cursor.take(_FLOAT.size))[0]
+        if tag == _T_STR:
+            raw = cursor.take(cursor.read_uvarint())
+            try:
+                return raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise WireFormatError(f"invalid UTF-8 in string value: {exc}") from None
+        if tag == _T_BYTES:
+            return cursor.take(cursor.read_uvarint())
+        if tag == _T_TUPLE:
+            count = cursor.read_uvarint()
+            return tuple(self._decode_value(cursor, depth + 1) for _ in range(count))
+        if tag == _T_LIST:
+            count = cursor.read_uvarint()
+            return [self._decode_value(cursor, depth + 1) for _ in range(count)]
+        if tag == _T_DICT:
+            count = cursor.read_uvarint()
+            result = {}
+            for _ in range(count):
+                key = self._decode_value(cursor, depth + 1)
+                result[key] = self._decode_value(cursor, depth + 1)
+            return result
+        if tag == _T_FROZENSET:
+            count = cursor.read_uvarint()
+            return frozenset(self._decode_value(cursor, depth + 1) for _ in range(count))
+        if tag == _T_DATACLASS:
+            return self._decode_dataclass(cursor, depth)
+        raise WireFormatError(f"unknown value tag 0x{tag:02x}")
+
+    def _decode_dataclass(self, cursor: _Cursor, depth: int) -> Any:
+        type_id = cursor.read_uvarint()
+        cls = self._type_by_id.get(type_id)
+        if cls is None:
+            raise WireFormatError(f"unknown wire type id {type_id}")
+        fields = self._fields_by_type[cls]
+        field_count = cursor.read_uvarint()
+        if field_count != len(fields):
+            raise WireFormatError(
+                f"{cls.__qualname__}: field count mismatch "
+                f"(wire has {field_count}, code expects {len(fields)})"
+            )
+        values = [self._decode_value(cursor, depth + 1) for _ in fields]
+        cursor.skip(cursor.read_uvarint())  # modelled payload padding
+        try:
+            return cls(*values)
+        except (TypeError, ValueError) as exc:
+            raise WireFormatError(f"cannot construct {cls.__qualname__}: {exc}") from None
+
+    # ------------------------------------------------------------------
+    # Message framing
+    # ------------------------------------------------------------------
+    def encode(self, message: Any) -> bytes:
+        """Encode one registered message as a complete frame."""
+        type_id = self.type_id_of(type(message))
+        body = bytearray()
+        self._encode_value(body, message)
+        return encode_frame(KIND_MESSAGE, type_id, bytes(body))
+
+    def decode(self, data: bytes) -> Any:
+        """Decode one complete message frame back into its dataclass."""
+        frame = decode_frame(data)
+        if frame.kind != KIND_MESSAGE:
+            raise WireFormatError(f"expected a message frame, got kind {frame.kind}")
+        return self.decode_body(frame)
+
+    def decode_body(self, frame: Frame) -> Any:
+        cursor = _Cursor(frame.body)
+        message = self._decode_value(cursor)
+        if not cursor.exhausted:
+            raise WireFormatError(
+                f"{len(frame.body) - cursor.pos} trailing bytes after message body"
+            )
+        if frame.kind == KIND_MESSAGE and self._id_by_type.get(type(message)) != frame.type_id:
+            raise WireFormatError(
+                f"frame header type id {frame.type_id} does not match body type "
+                f"{type(message).__qualname__}"
+            )
+        return message
+
+    def encoded_size(self, message: Any) -> int:
+        """Actual on-the-wire size of ``message`` (header + body)."""
+        return len(self.encode(message))
+
+    # ------------------------------------------------------------------
+    # Envelopes (stage-addressed messages, used by the live transport)
+    # ------------------------------------------------------------------
+    def encode_envelope(self, src_node: str, src_stage: str, dst_stage: str, message: Any) -> bytes:
+        """Encode a stage-addressed message for the asyncio transport."""
+        type_id = self.type_id_of(type(message))
+        body = bytearray()
+        self._encode_value(body, src_node)
+        self._encode_value(body, src_stage)
+        self._encode_value(body, dst_stage)
+        self._encode_value(body, message)
+        return encode_frame(KIND_ENVELOPE, type_id, bytes(body), sender=sender_tag(src_node))
+
+    def decode_envelope(self, frame_or_bytes: Frame | bytes) -> tuple[str, str, str, Any]:
+        """Decode an envelope frame into (src_node, src_stage, dst_stage, message)."""
+        frame = frame_or_bytes if isinstance(frame_or_bytes, Frame) else decode_frame(frame_or_bytes)
+        if frame.kind != KIND_ENVELOPE:
+            raise WireFormatError(f"expected an envelope frame, got kind {frame.kind}")
+        cursor = _Cursor(frame.body)
+        src_node = self._decode_value(cursor)
+        src_stage = self._decode_value(cursor)
+        dst_stage = self._decode_value(cursor)
+        message = self._decode_value(cursor)
+        if not cursor.exhausted:
+            raise WireFormatError(
+                f"{len(frame.body) - cursor.pos} trailing bytes after envelope body"
+            )
+        for part in (src_node, src_stage, dst_stage):
+            if not isinstance(part, str):
+                raise WireFormatError(f"envelope address parts must be strings, got {type(part)}")
+        return src_node, src_stage, dst_stage, message
+
+    # ------------------------------------------------------------------
+    # Accounting reconciliation
+    # ------------------------------------------------------------------
+    def audit(self, message: Any) -> "WireSizeDelta":
+        """Compare the codec's real encoded size against ``wire_size()``."""
+        accounted = int(message.wire_size())
+        encoded = self.encoded_size(message)
+        return WireSizeDelta(type(message).__qualname__, accounted, encoded)
+
+
+@dataclasses.dataclass(frozen=True)
+class WireSizeDelta:
+    """Outcome of reconciling the accounting model with the real codec."""
+
+    message_type: str
+    accounted: int
+    encoded: int
+
+    @property
+    def delta(self) -> int:
+        return self.encoded - self.accounted
+
+    @property
+    def ratio(self) -> float:
+        return self.encoded / self.accounted if self.accounted else float("inf")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.message_type}: accounted {self.accounted} B, "
+            f"encoded {self.encoded} B (delta {self.delta:+d}, ratio {self.ratio:.2f})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Module-level default instance
+# ----------------------------------------------------------------------
+_DEFAULT: WireCodec | None = None
+
+
+def default_codec() -> WireCodec:
+    """The process-wide codec over all registered message modules."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = WireCodec()
+    return _DEFAULT
+
+
+def encode_message(message: Any) -> bytes:
+    return default_codec().encode(message)
+
+
+def decode_message(data: bytes) -> Any:
+    return default_codec().decode(data)
+
+
+def encode_envelope(src_node: str, src_stage: str, dst_stage: str, message: Any) -> bytes:
+    return default_codec().encode_envelope(src_node, src_stage, dst_stage, message)
+
+
+def decode_envelope(frame_or_bytes: Frame | bytes) -> tuple[str, str, str, Any]:
+    return default_codec().decode_envelope(frame_or_bytes)
+
+
+def encoded_size(message: Any) -> int:
+    return default_codec().encoded_size(message)
+
+
+assert MESSAGE_HEADER_SIZE == 20  # the accounting constant the frame header mirrors

@@ -1,0 +1,259 @@
+"""Tests for the asyncio TCP transport and the frame layer.
+
+Async scenarios run under ``asyncio.run`` so the suite has no dependency
+on pytest-asyncio.  All sockets bind to 127.0.0.1 with OS-assigned ports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import TransportError, WireFormatError, WireIntegrityError
+from repro.messages.client import Request
+from repro.net.peer import PeerConfig, PeerConnection
+from repro.net.transport import TcpTransport
+from repro.sim.process import Envelope
+from repro.wire.framing import (
+    FRAME_HEADER_SIZE,
+    KIND_MESSAGE,
+    KIND_PING,
+    FrameReader,
+    decode_frame,
+    encode_frame,
+)
+
+REQUEST = Request("clients0:c0", 7, ("add", 1), 0, b"\x11" * 32)
+
+
+# ----------------------------------------------------------------------
+# FrameReader: incremental parsing
+# ----------------------------------------------------------------------
+def test_frame_reader_reassembles_byte_by_byte():
+    frame_bytes = encode_frame(KIND_MESSAGE, 4, b"hello wire")
+    reader = FrameReader()
+    frames = []
+    for i in range(len(frame_bytes)):
+        frames.extend(reader.feed(frame_bytes[i : i + 1]))
+    assert len(frames) == 1
+    assert frames[0].body == b"hello wire"
+    assert reader.pending_bytes == 0
+
+
+def test_frame_reader_parses_coalesced_frames():
+    blob = b"".join(encode_frame(KIND_MESSAGE, 1, bytes([i]) * i) for i in range(1, 6))
+    reader = FrameReader()
+    frames = reader.feed(blob)
+    assert [f.body for f in frames] == [bytes([i]) * i for i in range(1, 6)]
+
+
+def test_frame_reader_surfaces_corruption():
+    frame_bytes = bytearray(encode_frame(KIND_MESSAGE, 1, b"payload"))
+    frame_bytes[FRAME_HEADER_SIZE] ^= 0xFF
+    with pytest.raises(WireIntegrityError):
+        FrameReader().feed(bytes(frame_bytes))
+
+
+def test_frame_reader_rejects_garbage_stream():
+    with pytest.raises(WireFormatError):
+        FrameReader().feed(b"\x00" * (FRAME_HEADER_SIZE + 4))
+
+
+def test_decode_frame_round_trip():
+    frame = decode_frame(encode_frame(KIND_PING, 0, b""))
+    assert frame.kind == KIND_PING
+    assert frame.body == b""
+
+
+# ----------------------------------------------------------------------
+# TcpTransport: registration and framing over real sockets
+# ----------------------------------------------------------------------
+def _transport(nodes, **kwargs):
+    directory = {name: ("127.0.0.1", 0) for name in nodes}
+    return TcpTransport(directory, **kwargs)
+
+
+def test_register_requires_directory_entry():
+    transport = _transport(["a"])
+    transport.register("a", lambda src, env: None)
+    with pytest.raises(TransportError):
+        transport.register("a", lambda src, env: None)  # duplicate
+    with pytest.raises(TransportError):
+        transport.register("ghost", lambda src, env: None)  # not in directory
+
+
+def test_envelopes_cross_real_sockets():
+    async def scenario():
+        received = asyncio.Event()
+        inbox = []
+        transport = _transport(["a", "b"])
+        transport.register("a", lambda src, env: None)
+
+        def receive(src, envelope):
+            inbox.append((src, envelope))
+            received.set()
+
+        transport.register("b", receive)
+        async with transport:
+            envelope = Envelope(("a", "c0"), "handler", REQUEST)
+            transport.send("a", "b", envelope, REQUEST.wire_size())
+            await asyncio.wait_for(received.wait(), timeout=5)
+        src, delivered = inbox[0]
+        assert src == "a"
+        assert delivered.src == ("a", "c0")
+        assert delivered.dst_stage == "handler"
+        assert delivered.message == REQUEST
+        assert transport.interface("b").messages_received == 1
+        assert transport.interface("a").messages_sent == 1
+
+    asyncio.run(scenario())
+
+
+def test_multicast_reaches_every_destination():
+    async def scenario():
+        hits = {"b": 0, "c": 0}
+        done = asyncio.Event()
+        transport = _transport(["a", "b", "c"])
+        transport.register("a", lambda src, env: None)
+        for node in ("b", "c"):
+
+            def receive(src, env, node=node):
+                hits[node] += 1
+                if all(hits.values()):
+                    done.set()
+
+            transport.register(node, receive)
+        async with transport:
+            envelope = Envelope(("a", "c0"), "handler", REQUEST)
+            transport.multicast("a", ["b", "c"], envelope, REQUEST.wire_size())
+            await asyncio.wait_for(done.wait(), timeout=5)
+        assert hits == {"b": 1, "c": 1}
+
+    asyncio.run(scenario())
+
+
+def test_send_to_unknown_destination_is_an_error():
+    transport = _transport(["a"])
+    transport.register("a", lambda src, env: None)
+    envelope = Envelope(("a", "c0"), "handler", REQUEST)
+    with pytest.raises(TransportError):
+        transport.send("a", "nowhere", envelope, 64)
+
+
+def test_peer_reconnects_after_receiver_restart():
+    async def scenario():
+        inbox = []
+        got_one = asyncio.Event()
+        directory = {"a": ("127.0.0.1", 0), "b": ("127.0.0.1", 0)}
+        config = PeerConfig(backoff_base_s=0.01, backoff_max_s=0.05)
+        sender = TcpTransport(directory, peer_config=config)
+        sender.register("a", lambda src, env: None)
+        async with sender:
+            receiver = TcpTransport(dict(directory), peer_config=config)
+
+            def receive(src, env):
+                inbox.append(env.message)
+                got_one.set()
+
+            receiver.register("b", receive)
+            await receiver.start()
+            # sender learns b's real port the way separate processes would:
+            # from the shared directory convention
+            sender.directory["b"] = receiver.directory["b"]
+            envelope = Envelope(("a", "c0"), "handler", REQUEST)
+            sender.send("a", "b", envelope, REQUEST.wire_size())
+            await asyncio.wait_for(got_one.wait(), timeout=5)
+
+            # kill the receiver, then bring a new one up on the same port
+            port = receiver.directory["b"][1]
+            await receiver.stop()
+            await asyncio.sleep(0.05)
+            sender.send("a", "b", Envelope(("a", "c0"), "handler", REQUEST), REQUEST.wire_size())
+
+            got_two = asyncio.Event()
+            revived = TcpTransport({"b": ("127.0.0.1", port)}, peer_config=config)
+            revived.register("b", lambda src, env: got_two.set())
+            await revived.start()
+            assert revived.directory["b"][1] == port
+            # the queued message (or a subsequent one) arrives after reconnect
+            for _ in range(50):
+                if got_two.is_set():
+                    break
+                sender.send("a", "b", Envelope(("a", "c0"), "handler", REQUEST), REQUEST.wire_size())
+                await asyncio.sleep(0.02)
+            await asyncio.wait_for(got_two.wait(), timeout=5)
+            await revived.stop()
+        assert inbox[0] == REQUEST
+
+    asyncio.run(scenario())
+
+
+def test_bounded_queue_drops_when_peer_unreachable():
+    async def scenario():
+        # no listener on the other side and a tiny queue: floods must drop
+        config = PeerConfig(queue_capacity=4, backoff_base_s=5.0, backoff_max_s=5.0)
+        transport = TcpTransport(
+            {"a": ("127.0.0.1", 0), "b": ("127.0.0.1", 1)}, peer_config=config
+        )
+        transport.register("a", lambda src, env: None)
+        async with transport:
+            envelope = Envelope(("a", "c0"), "handler", REQUEST)
+            for _ in range(32):
+                transport.send("a", "b", envelope, REQUEST.wire_size())
+            assert transport.messages_dropped >= 32 - 4
+            assert transport.interface("a").send_queue_drops >= 32 - 4
+            assert transport.messages_sent == 32
+
+    asyncio.run(scenario())
+
+
+def test_corrupt_stream_counts_decode_error_and_drops_connection():
+    async def scenario():
+        transport = _transport(["b"])
+        transport.register("b", lambda src, env: None)
+        async with transport:
+            host, port = transport.directory["b"]
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"\xde\xad\xbe\xef" * 16)
+            await writer.drain()
+            # server drops the connection on garbage
+            eof = await asyncio.wait_for(reader.read(1), timeout=5)
+            assert eof == b""
+            writer.close()
+        assert transport.interface("b").decode_errors == 1
+
+    asyncio.run(scenario())
+
+
+def test_peer_connection_flushes_queue_in_order():
+    async def scenario():
+        received = []
+        done = asyncio.Event()
+
+        async def serve(reader, writer):
+            frame_reader = FrameReader()
+            while True:
+                data = await reader.read(4096)
+                if not data:
+                    return
+                for frame in frame_reader.feed(data):
+                    if frame.kind == KIND_MESSAGE:
+                        received.append(frame.body)
+                        if len(received) == 10:
+                            done.set()
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        peer = PeerConnection(
+            "a", "b", resolve=lambda: ("127.0.0.1", port), config=PeerConfig()
+        )
+        for i in range(10):
+            assert peer.enqueue(encode_frame(KIND_MESSAGE, 1, bytes([i])))
+        await asyncio.wait_for(done.wait(), timeout=5)
+        await peer.close()
+        server.close()
+        await server.wait_closed()
+        assert received == [bytes([i]) for i in range(10)]
+
+    asyncio.run(scenario())

@@ -1,0 +1,72 @@
+"""JSONL export/import/merge on the tracer (multi-process trace support)."""
+
+from __future__ import annotations
+
+from repro.sim.tracing import Tracer
+
+
+def test_write_and_load_round_trip(tmp_path):
+    tracer = Tracer(enabled=True)
+    tracer.emit(100, "r0/pillar0", "prepare", {"order": 1})
+    tracer.emit(250, "r1/pillar0", "commit", None)
+    tracer.emit(300, "r0/exec", "executed", ("clients0:c0", 1))
+    path = tmp_path / "trace.jsonl"
+    assert tracer.write_jsonl(str(path)) == 3
+
+    loaded = Tracer.load_jsonl(str(path))
+    assert len(loaded.records) == 3
+    assert loaded.records[0].time_ns == 100
+    assert loaded.records[0].node == "r0/pillar0"
+    assert loaded.records[0].category == "prepare"
+    assert loaded.records[0].detail == {"order": 1}
+    assert loaded.records[1].detail is None
+
+
+def test_non_json_details_are_stringified(tmp_path):
+    class Opaque:
+        def __str__(self):
+            return "opaque-detail"
+
+    tracer = Tracer(enabled=True)
+    tracer.emit(1, "r0", "event", Opaque())
+    path = tmp_path / "trace.jsonl"
+    tracer.write_jsonl(str(path))
+    loaded = Tracer.load_jsonl(str(path))
+    assert loaded.records[0].detail == "opaque-detail"
+
+
+def test_merge_orders_by_time_across_processes(tmp_path):
+    # two per-process tracers with interleaved timestamps
+    a = Tracer(enabled=True)
+    a.emit(100, "r0", "x")
+    a.emit(300, "r0", "y")
+    b = Tracer(enabled=True)
+    b.emit(50, "r1", "p")
+    b.emit(200, "r1", "q")
+    merged = Tracer.merge(a, b)
+    assert [(r.time_ns, r.node) for r in merged.records] == [
+        (50, "r1"),
+        (100, "r0"),
+        (200, "r1"),
+        (300, "r0"),
+    ]
+
+
+def test_merge_via_files_round_trips(tmp_path):
+    a = Tracer(enabled=True)
+    a.emit(10, "r0", "start")
+    b = Tracer(enabled=True)
+    b.emit(5, "clients0", "send")
+    pa, pb = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    a.write_jsonl(str(pa))
+    b.write_jsonl(str(pb))
+    merged = Tracer.merge(Tracer.load_jsonl(str(pa)), Tracer.load_jsonl(str(pb)))
+    assert [r.category for r in merged.records] == ["send", "start"]
+
+
+def test_disabled_tracer_records_nothing(tmp_path):
+    tracer = Tracer(enabled=False)
+    tracer.emit(1, "r0", "x")
+    path = tmp_path / "empty.jsonl"
+    assert tracer.write_jsonl(str(path)) == 0
+    assert Tracer.load_jsonl(str(path)).records == []

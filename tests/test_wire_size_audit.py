@@ -1,0 +1,83 @@
+"""Reconcile the accounting model (``wire_size()``) with the real codec.
+
+The simulator charges bandwidth for ``wire_size()`` bytes, which models
+the fixed-width serialization of the Java prototype.  The live codec uses
+varints and length prefixes, so it is usually somewhat *smaller* than the
+accounting (and never wildly larger).  These tests pin down the exact
+properties that must hold and a tolerance band for the rest:
+
+* the real frame header is byte-identical in size to the modelled
+  ``MESSAGE_HEADER_SIZE``;
+* modelled payload bytes (request/reply payloads) grow the encoding
+  byte-for-byte — benchmarks moving k-byte payloads really put k bytes on
+  the wire;
+* attaching a TrInX certificate costs the same order of bytes in both
+  models;
+* every sized message encodes within [0.5x, 1.25x] of its accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.messages.base import MESSAGE_HEADER_SIZE
+from repro.messages.client import Reply, Request
+from repro.messages.ordering import Prepare
+from repro.trinx.certificates import CounterCertificate
+from repro.wire.codec import default_codec
+from repro.wire.framing import FRAME_HEADER_SIZE
+
+from tests.test_wire_codec import SAMPLES
+
+SIZED_SAMPLES = [m for m in SAMPLES if callable(getattr(m, "wire_size", None))]
+
+
+def test_frame_header_matches_accounted_header():
+    assert FRAME_HEADER_SIZE == MESSAGE_HEADER_SIZE == 20
+
+
+@pytest.mark.parametrize("payload", [1, 64, 1024, 100_000])
+def test_request_payload_grows_both_models_identically(payload):
+    codec = default_codec()
+    base = Request("clients0:c0", 1, ("noop",), 0, b"\x11" * 32)
+    padded = Request("clients0:c0", 1, ("noop",), payload, b"\x11" * 32)
+    accounted_growth = padded.wire_size() - base.wire_size()
+    encoded_growth = codec.encoded_size(padded) - codec.encoded_size(base)
+    assert accounted_growth == payload
+    # encoded growth = payload + longer varints for the payload_size field
+    # and the padding length prefix (≤ 3 B each here)
+    assert payload <= encoded_growth <= payload + 6
+
+
+def test_reply_result_payload_is_materialized():
+    codec = default_codec()
+    small = Reply("r0", "clients0:c0", 1, 0, "ok", 0)
+    big = Reply("r0", "clients0:c0", 1, 0, "ok", 2048)
+    assert big.wire_size() - small.wire_size() == 2048
+    grown = codec.encoded_size(big) - codec.encoded_size(small)
+    assert 2048 <= grown <= 2048 + 3
+
+
+def test_certificate_attachment_costs_similar_bytes():
+    codec = default_codec()
+    cert = CounterCertificate("r0:t0", 3, 7, 6, b"\xab" * 16)
+    bare = Prepare(1, 42, (), "r1", None, False)
+    certified = Prepare(1, 42, (), "r1", cert, False)
+    accounted_delta = certified.wire_size() - bare.wire_size()
+    encoded_delta = codec.encoded_size(certified) - codec.encoded_size(bare)
+    assert accounted_delta > 0 and encoded_delta > 0
+    # both models agree on the order of magnitude of a certificate
+    assert 0.5 <= encoded_delta / accounted_delta <= 1.25
+
+
+@pytest.mark.parametrize("message", SIZED_SAMPLES, ids=lambda m: type(m).__name__)
+def test_encoded_size_tracks_accounting(message):
+    delta = default_codec().audit(message)
+    assert delta.encoded >= FRAME_HEADER_SIZE
+    assert 0.5 <= delta.ratio <= 1.25, str(delta)
+
+
+def test_audit_reports_are_informative():
+    delta = default_codec().audit(Request("clients0:c0", 1, ("noop",), 0, b"\x11" * 32))
+    text = str(delta)
+    assert "Request" in text and "accounted" in text and "encoded" in text
