@@ -1,0 +1,138 @@
+"""Record fault-free throughput baselines as ``BENCH_*.json``.
+
+Two artifacts, both 3-replica fault-free Hybster runs (the Figure-5a
+operating point: null requests, no payload):
+
+* ``BENCH_fig5a_sim.json`` — simulated hybster-s and hybster-x
+  throughput/latency from ``run_benchmark`` (deterministic, virtual
+  time, so these numbers only move when the model moves);
+* ``BENCH_live_3replica.json`` — the live TCP transport running the
+  whole group in one process (wall-clock numbers; machine-dependent,
+  recorded to make order-of-magnitude regressions visible, not for
+  exact comparison).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/record_baselines.py [--out-dir .]
+
+CI and later PRs compare fresh runs against the committed files to
+catch throughput collapses (>2x shifts), not single-digit drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+
+from repro.runtime.benchmark import run_benchmark
+from repro.runtime.deployment import DeploymentSpec, build_deployment
+from repro.runtime.live import run_live
+
+SIM_PROTOCOLS = ("hybster-s", "hybster-x")
+LIVE_PROTOCOLS = ("hybster-s", "hybster-x")
+
+
+def _sim_spec(protocol: str) -> DeploymentSpec:
+    return DeploymentSpec(
+        protocol=protocol,
+        cores=4,
+        service="null",
+        batch_size=1,
+        num_clients=16,
+        client_window=4,
+    )
+
+
+def record_sim() -> dict:
+    runs = []
+    for protocol in SIM_PROTOCOLS:
+        result = run_benchmark(build_deployment(_sim_spec(protocol)))
+        runs.append(
+            {
+                "protocol": protocol,
+                "replicas": 3,
+                "throughput_ops": round(result.throughput_ops, 1),
+                "mean_latency_ms": round(result.latency_ms, 4),
+                "completed": result.completed,
+                "measure_ns": result.measure_ns,
+                "replica_cpu_utilization": round(result.replica_cpu_utilization, 4),
+            }
+        )
+    return {
+        "benchmark": "fig5a_sim",
+        "description": "fault-free simulated 3-replica throughput "
+        "(null service, 16 clients, window 4)",
+        "deterministic": True,
+        "runs": runs,
+    }
+
+
+def record_live() -> dict:
+    runs = []
+    for protocol in LIVE_PROTOCOLS:
+        spec = DeploymentSpec(
+            protocol=protocol,
+            cores=2,
+            service="null",
+            num_clients=4,
+            client_window=8,
+            client_machines=1,
+        )
+        result = asyncio.run(run_live(spec, target_requests=2000, max_duration_s=30.0))
+        runs.append(
+            {
+                "protocol": protocol,
+                "replicas": 3,
+                "throughput_ops": round(result.throughput_ops, 1),
+                "mean_latency_ms": (
+                    round(result.latency.mean_ms, 4) if result.latency.count else None
+                ),
+                "completed": result.completed,
+                "elapsed_s": round(result.elapsed_s, 3),
+                "transport_sent": result.transport_sent,
+            }
+        )
+    return {
+        "benchmark": "live_3replica",
+        "description": "fault-free live (localhost TCP) 3-replica throughput "
+        "(null service, 4 clients, window 8, single process)",
+        "deterministic": False,
+        "machine": {
+            "python": platform.python_version(),
+            "system": platform.system(),
+            "cpus": os.cpu_count(),
+        },
+        "runs": runs,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default=".")
+    parser.add_argument("--skip-live", action="store_true",
+                        help="record only the deterministic sim baseline")
+    args = parser.parse_args(argv)
+
+    artifacts = {"BENCH_fig5a_sim.json": record_sim()}
+    if not args.skip_live:
+        artifacts["BENCH_live_3replica.json"] = record_live()
+
+    for name, payload in artifacts.items():
+        path = os.path.join(args.out_dir, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        for run in payload["runs"]:
+            print(
+                f"{name}: {run['protocol']} {run['throughput_ops']:.0f} ops/s, "
+                f"mean latency {run['mean_latency_ms']} ms"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The decision types every chaos filter speaks.
+
+Kept dependency-free so both transports (``repro.sim.network`` and
+``repro.net.transport``) can import them without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+
+class FilterDecision:
+    """Outcome for one message: deliver, drop, delay, or replace.
+
+    ``replace`` carries a substitute message (an Envelope) delivered in
+    place of the original — the tampering primitive used to model
+    man-in-the-middle modification and equivocation attempts.  A decision
+    may combine ``replace`` with ``extra_delay_ns``.
+    """
+
+    __slots__ = ("drop", "extra_delay_ns", "replace")
+
+    def __init__(self, drop: bool = False, extra_delay_ns: int = 0, replace: Any = None):
+        self.drop = drop
+        self.extra_delay_ns = extra_delay_ns
+        self.replace = replace
+
+
+DELIVER = FilterDecision()
+
+
+class MessageFilter(Protocol):
+    """Decides the fate of a message in flight (see repro.chaos.filters)."""
+
+    def decide(self, src: str, dst: str, message: Any, size: int, now: int) -> FilterDecision:
+        ...  # pragma: no cover - protocol

@@ -107,6 +107,7 @@ class Client(Stage):
         request = Request(self.client_id, request_id, operation, payload_size, mac)
         timer = self.set_timer(self.timeout_ns, self._on_timeout, request_id)
         self.outstanding[request_id] = _Pending(request, self.now, timer)
+        self.trace("client-invoke", (self.client_id, request_id, operation))
         return request
 
     def _issue(self, operation: Any, payload_size: int) -> None:
@@ -148,6 +149,12 @@ class Client(Stage):
         self.completed += 1
         self.last_result = result
         self.stats.record(self.now - pending.sent_at)
+        # Invoke/complete pairs give the safety checker real-time intervals
+        # for the linearizability analysis (repro.scenarios.safety).
+        self.trace(
+            "client-complete",
+            (self.client_id, request_id, pending.request.operation, result),
+        )
         if self._in_setup:
             if self._setup_queue:
                 operation, payload = self._setup_queue.pop(0)

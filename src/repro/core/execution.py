@@ -18,6 +18,7 @@ closing over gaps the parallel ordering may create.  It also:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any
 
 from repro.core.config import ReplicaGroupConfig
@@ -138,7 +139,14 @@ class ExecutionStage(Stage):
             replies.append(self._build_reply(request, result, message.view))
             self.executed_requests += 1
         self.executed_instances += 1
-        self.trace("execute", (message.view, message.order, len(message.batch)))
+        # Batch identity rides along so the scenarios safety checker can
+        # assert cross-replica agreement per order number from merged
+        # traces (see repro.scenarios.safety).
+        self.trace(
+            "execute",
+            (message.view, message.order, _batch_digest(message.batch),
+             [list(request.key) for request in message.batch]),
+        )
         if replies:
             self._dispatch_replies(replies)
         if executed_keys and self.handler_address is not None:
@@ -315,6 +323,19 @@ def _client_address(client_id: str) -> tuple[str, str]:
         node, stage = client_id.split(":", 1)
         return (node, stage)
     return (client_id, "client")
+
+
+def _batch_digest(batch: tuple) -> str:
+    """A short content digest of a batch: request identity *and* payload.
+
+    Two replicas executing different request content at the same order —
+    e.g. after a successful equivocation — produce different digests even
+    when client ids and request ids coincide.
+    """
+    material = repr(
+        tuple((r.client_id, r.request_id, _freeze(r.operation)) for r in batch)
+    ).encode("utf-8")
+    return hashlib.sha256(material).hexdigest()[:16]
 
 
 def _freeze(value: Any) -> Any:

@@ -111,6 +111,12 @@ class Pillar(Stage):
         self._timers_started = False
         self._noop_timer = None
 
+        # Certificate verification switch.  Always True in production; the
+        # scenario engine flips it off to demonstrate that, without TrInX
+        # verification, equivocation slips through and the trace safety
+        # checker catches the resulting divergence (repro.scenarios).
+        self.verify_trinx = True
+
         # Wired by the replica builder.
         self.peer_addresses: dict[str, Address] = {}  # replica id -> my-index pillar
         self.exec_address: Address | None = None
@@ -300,6 +306,7 @@ class Pillar(Stage):
             self._proposed_keys[request.key] = order
         self.proposals += 1
         self.trace("propose", (prepare.view, order, len(batch)))
+        self.trace("counter-cert", (certificate.counter, certificate.new_value))
         self._own_inflight += 1
         self._advance_lane(lane, order)
         self.broadcast(list(self.peer_addresses.values()), prepare)
@@ -363,6 +370,8 @@ class Pillar(Stage):
             return False
         if certificate.new_value != self._flatten(prepare.view, prepare.order):
             return False
+        if not self.verify_trinx:
+            return True
         return self.trinx.verify(certificate, prepare.digestible(), size_hint=prepare.wire_size())
 
     def _accept_prepare(self, prepare: Prepare) -> None:
@@ -388,6 +397,7 @@ class Pillar(Stage):
         instance.own_commit = commit
         instance.acknowledgments = {prepare.leader, self.me}
         self.commits_sent += 1
+        self.trace("counter-cert", (certificate.counter, certificate.new_value))
         self._advance_lane(lane, order)
         self.broadcast(list(self.peer_addresses.values()), commit)
         self._absorb_buffered_commits(instance)
@@ -435,6 +445,8 @@ class Pillar(Stage):
             return False
         if certificate.new_value != self._flatten(commit.view, commit.order):
             return False
+        if not self.verify_trinx:
+            return True
         return self.trinx.verify(certificate, commit.digestible(), size_hint=commit.wire_size())
 
     def _absorb_buffered_commits(self, instance) -> None:
@@ -931,6 +943,7 @@ class Pillar(Stage):
         instance.own_commit = commit
         instance.acknowledgments = {prepare.leader, self.me}
         self.commits_sent += 1
+        self.trace("counter-cert", (certificate.counter, certificate.new_value))
         self.broadcast(list(self.peer_addresses.values()), commit)
         self._check_committed(instance)
 

@@ -61,4 +61,9 @@ class TransportStats:
     messages_dropped: int = 0
     send_queue_drops: int = 0
     decode_errors: int = 0
+    # chaos-injection outcomes (see repro.chaos): messages this node sent
+    # that a fault filter dropped, delayed, or replaced with a tampered copy
+    chaos_dropped: int = 0
+    chaos_delayed: int = 0
+    chaos_injected: int = 0
     peers: dict[str, Any] = field(default_factory=dict)

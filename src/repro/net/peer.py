@@ -68,6 +68,7 @@ class PeerConnection:
         self.config = config
         self._queue: asyncio.Queue[bytes] = asyncio.Queue(maxsize=config.queue_capacity)
         self._task: asyncio.Task | None = None
+        self._writer: asyncio.StreamWriter | None = None
         self._closed = False
         self.stats = PeerStats()
 
@@ -105,6 +106,7 @@ class PeerConnection:
                 _reader, writer = await asyncio.wait_for(
                     asyncio.open_connection(host, port), self.config.connect_timeout_s
                 )
+                self._writer = writer
                 writer.write(hello)
                 await writer.drain()
                 self.stats.connected = True
@@ -122,6 +124,7 @@ class PeerConnection:
                 backoff = min(backoff * 2, self.config.backoff_max_s)
             finally:
                 self.stats.connected = False
+                self._writer = None
                 if writer is not None:
                     writer.close()
 
@@ -155,6 +158,17 @@ class PeerConnection:
             await writer.drain()
 
     # ------------------------------------------------------------------
+    def kill(self) -> int:
+        """Sever the current connection (fault injection); returns 1 if one
+        was live.  The sender loop sees the failure and enters its normal
+        reconnect backoff — queued frames survive."""
+        writer = self._writer
+        if writer is None:
+            return 0
+        self._writer = None
+        writer.close()
+        return 1
+
     async def close(self) -> None:
         self._closed = True
         if self._task is not None:

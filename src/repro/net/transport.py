@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import time
 from typing import Any, Callable
 
+from repro.chaos.base import MessageFilter
 from repro.errors import TransportError, WireError
 from repro.net.base import TransportStats
 from repro.net.peer import PeerConfig, PeerConnection
@@ -44,18 +46,28 @@ class TcpTransport:
         directory: dict[str, tuple[str, int]],
         codec: WireCodec | None = None,
         peer_config: PeerConfig = PeerConfig(),
+        clock: Callable[[], int] | None = None,
     ):
         self.directory = dict(directory)
         self.codec = codec or default_codec()
         self.peer_config = peer_config
         self._receivers: dict[str, Callable[[str, Any], None]] = {}
         self._servers: dict[str, asyncio.base_events.Server] = {}
-        self._inbound: set[asyncio.StreamWriter] = set()
+        self._inbound: dict[asyncio.StreamWriter, str] = {}
         self._peers: dict[tuple[str, str], PeerConnection] = {}
         self._stats: dict[str, TransportStats] = {}
         self._started = False
         self.messages_sent = 0
         self.messages_dropped = 0
+        # Chaos injection (see repro.chaos): filters applied on the send
+        # path, under `clock` (nanoseconds; defaults to monotonic time
+        # since transport construction, matching LiveKernel.now).
+        self._filters: list[MessageFilter] = []
+        self._t0 = time.monotonic()
+        self._clock = clock or (lambda: int((time.monotonic() - self._t0) * 1e9))
+        self.chaos_dropped = 0
+        self.chaos_delayed = 0
+        self.chaos_injected = 0
 
     # ------------------------------------------------------------------
     # Transport interface (what Endpoint/Stage call)
@@ -84,14 +96,47 @@ class TcpTransport:
             raise TransportError(f"unknown sender {src!r}")
         if dst not in self.directory:
             raise TransportError(f"unknown destination {dst!r}")
+        stats = self._stats[src]
+        self.messages_sent += 1
+
+        extra_delay_ns = 0
+        if self._filters:
+            now = self._clock()
+            for message_filter in self._filters:
+                decision = message_filter.decide(src, dst, message, size, now)
+                if decision.drop:
+                    self.messages_dropped += 1
+                    self.chaos_dropped += 1
+                    stats.chaos_dropped += 1
+                    return
+                extra_delay_ns += decision.extra_delay_ns
+                if decision.replace is not None:
+                    message = decision.replace
+                    self.chaos_injected += 1
+                    stats.chaos_injected += 1
+
         # `message` is a repro.sim.process.Envelope; unwrap its addressing.
         src_addr = getattr(message, "src", (src, "?"))
         dst_stage = getattr(message, "dst_stage", "?")
         payload = getattr(message, "message", message)
         frame = self.codec.encode_envelope(src_addr[0], src_addr[1], dst_stage, payload)
 
+        if extra_delay_ns > 0:
+            self.chaos_delayed += 1
+            stats.chaos_delayed += 1
+            asyncio.get_running_loop().call_later(
+                extra_delay_ns / 1e9, self._enqueue_frame, src, dst, frame
+            )
+            return
+        self._enqueue_frame(src, dst, frame)
+
+    def _enqueue_frame(self, src: str, dst: str, frame: bytes) -> None:
         stats = self._stats[src]
-        self.messages_sent += 1
+        if not self._started:
+            # a chaos-delayed frame outlived the transport: count and drop
+            self.messages_dropped += 1
+            stats.send_queue_drops += 1
+            return
         peer = self._peer_for(src, dst)
         if peer.enqueue(frame):
             stats.messages_sent += 1
@@ -107,6 +152,38 @@ class TcpTransport:
     def interface(self, name: str) -> TransportStats:
         """Traffic counters for a node (parity with ``Network.interface``)."""
         return self._stats[name]
+
+    # ------------------------------------------------------------------
+    # Chaos injection (parity with ``Network.add_filter``)
+    # ------------------------------------------------------------------
+    def add_filter(self, message_filter: MessageFilter) -> None:
+        """Install a fault-injection filter on the send path.
+
+        Filters run in installation order before a message is framed, so
+        a replacement decision changes what gets encoded onto the wire.
+        """
+        self._filters.append(message_filter)
+
+    def remove_filter(self, message_filter: MessageFilter) -> None:
+        self._filters.remove(message_filter)
+
+    def drop_connections(self, node: str) -> int:
+        """Forcibly close every connection touching ``node``; returns count.
+
+        Models a connection-level failure (middlebox reset, process
+        crash): outbound peers enter reconnect backoff, inbound streams
+        see EOF.  Queued frames survive and are flushed after reconnect.
+        """
+        killed = 0
+        for (src, dst), peer in self._peers.items():
+            if node in (src, dst):
+                killed += peer.kill()
+        for writer, owner in list(self._inbound.items()):
+            if owner == node:
+                writer.close()
+                self._inbound.pop(writer, None)
+                killed += 1
+        return killed
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -172,7 +249,7 @@ class TcpTransport:
         stats = self._stats.get(node)
         frame_reader = FrameReader()
         peer_name = "?"
-        self._inbound.add(writer)
+        self._inbound[writer] = node
         try:
             while True:
                 data = await reader.read(64 * 1024)
@@ -209,5 +286,5 @@ class TcpTransport:
         except (asyncio.CancelledError, ConnectionError, OSError):
             pass
         finally:
-            self._inbound.discard(writer)
+            self._inbound.pop(writer, None)
             writer.close()

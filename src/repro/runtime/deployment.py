@@ -70,6 +70,10 @@ class DeploymentSpec:
     checkpoint_interval: int = 128
     window_size: int = 1024
     noop_delay_ns: int = 500_000
+    # Master seed for every DeterministicRandom consumer of the run
+    # (workloads, chaos filters); sub-seeds are derived per consumer with
+    # repro.sim.rand.derive_seed so streams stay independent.
+    seed: int = 0
     workload_factory: Callable[[str, int], Workload] | None = None
     calibration: CalibrationProfile = field(default_factory=lambda: DEFAULT_CALIBRATION)
     nic_bandwidth: int = 4 * GIGABIT_PER_SECOND

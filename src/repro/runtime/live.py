@@ -269,7 +269,9 @@ def build_live_deployment(
 
     kernel = LiveKernel()
     directory = live_directory(spec, host, base_port)
-    transport = TcpTransport(directory, peer_config=peer_config)
+    # The transport shares the kernel clock so chaos filters (crash
+    # windows, delay schedules) see the same timeline as stage timers.
+    transport = TcpTransport(directory, peer_config=peer_config, clock=lambda: kernel.now)
 
     replica_ids = _replica_ids(spec.protocol)
     client_nodes = tuple(f"clients{j}" for j in range(spec.client_machines))
@@ -376,6 +378,9 @@ class LiveRunResult:
     replica_stats: list[dict] = field(default_factory=list)
     transport_sent: int = 0
     transport_dropped: int = 0
+    chaos_dropped: int = 0
+    chaos_delayed: int = 0
+    chaos_injected: int = 0
     state_digests: list[str] = field(default_factory=list)
 
     @property
@@ -392,15 +397,25 @@ class LiveRunResult:
             "retries": self.retries,
             "transport_sent": self.transport_sent,
             "transport_dropped": self.transport_dropped,
+            "chaos_dropped": self.chaos_dropped,
+            "chaos_delayed": self.chaos_delayed,
+            "chaos_injected": self.chaos_injected,
             "state_digests": self.state_digests,
         }
 
     def __str__(self) -> str:
         latency = f"{self.latency.mean_ms:.3f} ms" if self.latency.count else "n/a"
+        chaos = ""
+        if self.chaos_dropped or self.chaos_delayed or self.chaos_injected:
+            chaos = (
+                f", chaos: {self.chaos_dropped} dropped / "
+                f"{self.chaos_delayed} delayed / {self.chaos_injected} injected"
+            )
         return (
             f"{self.protocol} (live): {self.completed} requests in {self.elapsed_s:.2f} s "
             f"({self.throughput_ops:.0f} ops/s), mean latency {latency}, "
             f"{self.transport_sent} frames sent, {self.transport_dropped} dropped"
+            f"{chaos}"
         )
 
 
@@ -417,6 +432,9 @@ def _collect_result(deployment: LiveDeployment, elapsed_s: float) -> LiveRunResu
         replica_stats=[replica.stats() for replica in deployment.replicas],
         transport_sent=deployment.transport.messages_sent,
         transport_dropped=deployment.transport.messages_dropped,
+        chaos_dropped=deployment.transport.chaos_dropped,
+        chaos_delayed=deployment.transport.chaos_delayed,
+        chaos_injected=deployment.transport.chaos_injected,
         state_digests=[
             str(replica.service.state_digestible()) for replica in deployment.replicas
         ],
@@ -511,6 +529,7 @@ def _spec_from_args(args: argparse.Namespace) -> DeploymentSpec:
         payload_size=args.payload_size,
         checkpoint_interval=args.checkpoint_interval,
         window_size=args.window_size,
+        seed=args.seed,
     )
 
 
@@ -540,6 +559,7 @@ async def _run_group_processes(args: argparse.Namespace) -> int:
         "--window-size", str(spec.window_size),
         "--requests", str(args.requests), "--duration", str(args.duration),
         "--base-port", str(args.base_port), "--host", args.host,
+        "--seed", str(args.seed),
     ]
     if spec.rotation:
         passthrough.append("--rotation")
@@ -668,6 +688,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="stop once this many requests completed")
     parser.add_argument("--duration", type=float, default=10.0,
                         help="hard wall-clock limit in seconds")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed for all DeterministicRandom users")
     parser.add_argument("--base-port", type=int, default=0,
                         help="0 = OS-assigned (single process only)")
     parser.add_argument("--host", default="127.0.0.1")

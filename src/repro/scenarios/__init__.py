@@ -1,0 +1,37 @@
+"""repro.scenarios: the fault-matrix scenario engine.
+
+A *scenario* is a small declarative TOML file binding together a
+deployment (protocol, group size, pillars, service), a workload, a fault
+schedule (chaos filters from :mod:`repro.chaos`), and pass criteria.
+The engine executes scenarios against the discrete-event simulator or
+the live TCP transport — the same protocol code either way — collects
+the per-node traces, and hands the merged timeline to the safety
+checker, which asserts:
+
+* **agreement** — no two replicas execute different batch content at
+  the same order number;
+* **certificate monotonicity** — no TrInX counter value is reused or
+  decreases within a (node, counter) stream;
+* **linearizability** — client-observed KV operations respect
+  real-time order.
+
+``repro-scenarios`` (:mod:`repro.scenarios.cli`) runs the scenario
+matrix and prints a per-scenario verdict table.
+"""
+
+from repro.scenarios.engine import ScenarioResult, run_scenario
+from repro.scenarios.safety import SafetyReport, SafetyViolation, check_safety
+from repro.scenarios.spec import FaultSpec, PassCriteria, ScenarioSpec, load_scenario, load_scenarios
+
+__all__ = [
+    "FaultSpec",
+    "PassCriteria",
+    "SafetyReport",
+    "SafetyViolation",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "check_safety",
+    "load_scenario",
+    "load_scenarios",
+    "run_scenario",
+]

@@ -1,0 +1,133 @@
+"""``repro-scenarios``: execute the fault-matrix and print a verdict table.
+
+Examples::
+
+    repro-scenarios --list                      # show the matrix
+    repro-scenarios                             # run every scenario
+    repro-scenarios --tag smoke                 # the CI smoke subset
+    repro-scenarios --only sim-hybster-s-loss   # one scenario
+    repro-scenarios --seed 7 --json out.json    # reseed + machine output
+    repro-scenarios --trace-dir /tmp/traces     # keep per-scenario JSONL
+
+Exit status is 0 when every selected scenario passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.scenarios.engine import ScenarioResult, run_scenario
+from repro.scenarios.spec import ScenarioSpec, load_scenarios
+
+DEFAULT_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "scenarios")
+
+
+def _select(
+    specs: list[ScenarioSpec], only: list[str], tags: list[str], modes: list[str]
+) -> list[ScenarioSpec]:
+    selected = specs
+    if only:
+        wanted = set(only)
+        selected = [s for s in selected if s.name in wanted]
+        missing = wanted - {s.name for s in selected}
+        if missing:
+            raise SystemExit(f"unknown scenario(s): {sorted(missing)}")
+    if tags:
+        selected = [s for s in selected if set(tags) & set(s.tags)]
+    if modes:
+        selected = [s for s in selected if s.mode in modes]
+    return selected
+
+
+def _print_table(results: list[ScenarioResult]) -> None:
+    header = (
+        f"{'scenario':<36} {'mode':<5} {'protocol':<10} {'verdict':<7} "
+        f"{'done':>5} {'chaos d/d/i':>12} {'safety':<9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        chaos = f"{result.chaos_dropped}/{result.chaos_delayed}/{result.chaos_injected}"
+        safety = "ok" if result.safety.ok else f"{len(result.safety.violations)} viol."
+        print(
+            f"{result.name:<36} {result.mode:<5} {result.protocol:<10} "
+            f"{result.verdict:<7} {result.completed:>5} {chaos:>12} {safety:<9}"
+        )
+        for failure in result.failures:
+            print(f"    ! {failure}")
+        if result.error:
+            print(f"    ! error: {result.error}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-scenarios",
+        description="Run the {protocol x fault x workload} scenario matrix "
+        "and check safety on the merged traces",
+    )
+    parser.add_argument("--dir", default=DEFAULT_DIR,
+                        help="directory of scenario TOML files")
+    parser.add_argument("--only", action="append", default=[],
+                        help="run only the named scenario (repeatable)")
+    parser.add_argument("--tag", action="append", default=[],
+                        help="run only scenarios carrying this tag (repeatable)")
+    parser.add_argument("--mode", action="append", default=[], choices=("sim", "live"),
+                        help="restrict to sim or live scenarios")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override every scenario's seed")
+    parser.add_argument("--json", default="",
+                        help="also write results as JSON to this path")
+    parser.add_argument("--trace-dir", default="",
+                        help="write each scenario's merged trace JSONL here")
+    parser.add_argument("--list", action="store_true",
+                        help="list matching scenarios without running them")
+    args = parser.parse_args(argv)
+
+    directory = os.path.abspath(args.dir)
+    if not os.path.isdir(directory):
+        print(f"scenario directory not found: {directory}", file=sys.stderr)
+        return 2
+    specs = _select(load_scenarios(directory), args.only, args.tag, args.mode)
+    if not specs:
+        print("no scenarios selected", file=sys.stderr)
+        return 2
+
+    if args.list:
+        for spec in specs:
+            tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+            faults = ", ".join(fault.kind for fault in spec.faults) or "none"
+            print(f"{spec.name:<36} {spec.mode:<5} faults: {faults}{tags}")
+            if spec.description:
+                print(f"    {spec.description}")
+        return 0
+
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+
+    results: list[ScenarioResult] = []
+    for spec in specs:
+        trace_out = (
+            os.path.join(args.trace_dir, f"{spec.name}.jsonl") if args.trace_dir else None
+        )
+        print(f"running {spec.name} ({spec.mode}) ...", flush=True)
+        results.append(run_scenario(spec, seed_override=args.seed, trace_out=trace_out))
+
+    print()
+    _print_table(results)
+    failed = [r for r in results if not r.passed]
+    print()
+    print(f"{len(results) - len(failed)}/{len(results)} scenarios passed")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump([result.to_json() for result in results], fh, indent=2)
+            fh.write("\n")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

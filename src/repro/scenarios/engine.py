@@ -1,0 +1,265 @@
+"""Scenario execution: run one spec against the simulator or live TCP.
+
+Both paths are the same shape — build the deployment with tracing on,
+install the scenario's chaos filters on the transport, optionally switch
+off TrInX certificate verification (demonstration scenarios only), run
+the workload, then hand the trace to the safety checker and evaluate the
+pass criteria.  The sim path runs in virtual time and is deterministic
+for a given seed; the live path runs real asyncio processes against the
+wall clock, with the whole group hosted in-process so one transport
+(and hence one filter chain and one tracer) sees all traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.chaos import CrashWindows
+from repro.clients.stats import LatencyStats
+from repro.errors import ConfigurationError
+from repro.runtime.deployment import build_deployment
+from repro.scenarios.safety import SafetyReport, check_safety
+from repro.scenarios.spec import MS, ScenarioSpec
+from repro.sim.tracing import Tracer
+
+TRACE_CATEGORIES = {"execute", "counter-cert", "client-invoke", "client-complete"}
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario execution."""
+
+    name: str
+    mode: str
+    protocol: str
+    completed: int = 0
+    elapsed_ms: float = 0.0
+    mean_latency_ms: float | None = None
+    retries: int = 0
+    chaos_dropped: int = 0
+    chaos_delayed: int = 0
+    chaos_injected: int = 0
+    safety: SafetyReport = field(default_factory=SafetyReport)
+    failures: list[str] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures and self.error is None
+
+    @property
+    def verdict(self) -> str:
+        if self.error is not None:
+            return "ERROR"
+        return "PASS" if self.passed else "FAIL"
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "protocol": self.protocol,
+            "verdict": self.verdict,
+            "completed": self.completed,
+            "elapsed_ms": round(self.elapsed_ms, 1),
+            "mean_latency_ms": (
+                round(self.mean_latency_ms, 3) if self.mean_latency_ms is not None else None
+            ),
+            "retries": self.retries,
+            "chaos": {
+                "dropped": self.chaos_dropped,
+                "delayed": self.chaos_delayed,
+                "injected": self.chaos_injected,
+            },
+            "safety": {
+                "ok": self.safety.ok,
+                "orders_checked": self.safety.orders_checked,
+                "certificates_checked": self.safety.certificates_checked,
+                "reads_checked": self.safety.reads_checked,
+                "violations": [str(v) for v in self.safety.violations],
+            },
+            "failures": self.failures,
+            "error": self.error,
+        }
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    seed_override: int | None = None,
+    trace_out: str | None = None,
+) -> ScenarioResult:
+    """Execute one scenario and evaluate its pass criteria."""
+    try:
+        if spec.mode == "sim":
+            result = _run_sim(spec, seed_override, trace_out)
+        elif spec.mode == "live":
+            result = asyncio.run(_run_live(spec, seed_override, trace_out))
+        else:  # pragma: no cover - load_scenario validates modes
+            raise ConfigurationError(f"unknown mode {spec.mode!r}")
+    except ConfigurationError as exc:
+        result = ScenarioResult(
+            name=spec.name,
+            mode=spec.mode,
+            protocol=spec.deployment.get("protocol", "hybster-x"),
+            error=str(exc),
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Simulator path
+# ----------------------------------------------------------------------
+def _run_sim(
+    spec: ScenarioSpec, seed_override: int | None, trace_out: str | None
+) -> ScenarioResult:
+    deployment_spec = spec.deployment_spec(seed_override)
+    tracer = Tracer(enabled=True, categories=TRACE_CATEGORIES)
+    deployment = build_deployment(deployment_spec, tracer=tracer)
+
+    for chaos_filter in spec.build_filters(seed_override):
+        deployment.network.add_filter(chaos_filter)
+    if not spec.trinx_verification:
+        _disable_trinx_verification(deployment.replicas)
+
+    deployment.start_clients()
+    deployment.sim.run(until=spec.duration_ms * MS)
+
+    latency = LatencyStats()
+    for client in deployment.clients:
+        latency.merge(client.stats)
+
+    result = ScenarioResult(
+        name=spec.name,
+        mode="sim",
+        protocol=deployment_spec.protocol,
+        completed=deployment.total_completed(),
+        elapsed_ms=deployment.sim.now / MS,
+        mean_latency_ms=latency.mean_ms if latency.count else None,
+        retries=sum(client.retries for client in deployment.clients),
+        chaos_dropped=deployment.network.messages_dropped,
+        chaos_delayed=deployment.network.messages_delayed,
+        chaos_injected=deployment.network.messages_injected,
+    )
+    _finish(result, spec, tracer, trace_out)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Live path
+# ----------------------------------------------------------------------
+async def _run_live(
+    spec: ScenarioSpec, seed_override: int | None, trace_out: str | None
+) -> ScenarioResult:
+    # imported here: repro.runtime.live pulls in asyncio transport machinery
+    from repro.runtime.live import build_live_deployment
+
+    deployment_spec = spec.deployment_spec(seed_override)
+    tracer = Tracer(enabled=True, categories=TRACE_CATEGORIES)
+    deployment = build_live_deployment(deployment_spec, tracer=tracer, base_port=0)
+
+    chaos_filters = spec.build_filters(seed_override)
+    for chaos_filter in chaos_filters:
+        deployment.transport.add_filter(chaos_filter)
+    if not spec.trinx_verification:
+        _disable_trinx_verification(deployment.replicas)
+
+    started = time.monotonic()
+    try:
+        await deployment.start()
+        _schedule_connection_kills(deployment, chaos_filters)
+        deployment.start_clients()
+        deadline = started + spec.duration_ms / 1_000.0
+        while (
+            deployment.total_completed() < spec.requests
+            and time.monotonic() < deadline
+        ):
+            await asyncio.sleep(0.02)
+        deployment.stop_clients()
+        await asyncio.sleep(0.05)  # let in-flight replies drain
+    finally:
+        await deployment.stop()
+
+    latency = LatencyStats()
+    for client in deployment.clients:
+        latency.merge(client.stats)
+
+    result = ScenarioResult(
+        name=spec.name,
+        mode="live",
+        protocol=deployment_spec.protocol,
+        completed=deployment.total_completed(),
+        elapsed_ms=(time.monotonic() - started) * 1_000.0,
+        mean_latency_ms=latency.mean_ms if latency.count else None,
+        retries=sum(client.retries for client in deployment.clients),
+        chaos_dropped=deployment.transport.chaos_dropped,
+        chaos_delayed=deployment.transport.chaos_delayed,
+        chaos_injected=deployment.transport.chaos_injected,
+    )
+    _finish(result, spec, tracer, trace_out)
+    return result
+
+
+def _schedule_connection_kills(deployment, chaos_filters: list[Any]) -> None:
+    """Sever a crashing node's TCP connections at each window start.
+
+    The CrashWindows filter already swallows traffic; killing the node's
+    live connections on top exercises the transport's reconnect/backoff
+    path — recovery then requires sockets to be re-established, exactly
+    as after a real process crash.
+    """
+    for chaos_filter in chaos_filters:
+        if not isinstance(chaos_filter, CrashWindows):
+            continue
+        for start_ns, _end_ns in chaos_filter.windows:
+            deployment.kernel.schedule(
+                max(0, start_ns - deployment.kernel.now),
+                deployment.transport.drop_connections,
+                chaos_filter.node,
+            )
+
+
+# ----------------------------------------------------------------------
+# Shared epilogue
+# ----------------------------------------------------------------------
+def _disable_trinx_verification(replicas) -> None:
+    for replica in replicas:
+        for pillar in getattr(replica, "pillars", ()):
+            if hasattr(pillar, "verify_trinx"):
+                pillar.verify_trinx = False
+
+
+def _finish(
+    result: ScenarioResult, spec: ScenarioSpec, tracer: Tracer, trace_out: str | None
+) -> None:
+    if trace_out:
+        tracer.write_jsonl(trace_out)
+    result.safety = check_safety(tracer)
+    _evaluate(result, spec)
+
+
+def _evaluate(result: ScenarioResult, spec: ScenarioSpec) -> None:
+    criteria = spec.criteria
+    if result.completed < criteria.min_completed:
+        result.failures.append(
+            f"completed {result.completed} < required {criteria.min_completed}"
+        )
+    if criteria.expect_safety_violation:
+        if result.safety.ok:
+            result.failures.append(
+                "expected a safety violation, but the checker found none "
+                "(the attack should have succeeded in this configuration)"
+            )
+    elif criteria.safety and not result.safety.ok:
+        result.failures.extend(str(v) for v in result.safety.violations)
+    if (
+        criteria.max_mean_latency_ms is not None
+        and result.mean_latency_ms is not None
+        and result.mean_latency_ms > criteria.max_mean_latency_ms
+    ):
+        result.failures.append(
+            f"mean latency {result.mean_latency_ms:.3f} ms exceeds "
+            f"{criteria.max_mean_latency_ms} ms"
+        )

@@ -1,0 +1,281 @@
+"""The safety checker: replay merged traces, assert the paper's guarantees.
+
+Input is a :class:`~repro.sim.tracing.Tracer` (in-memory from a sim run,
+or merged from per-process JSONL exports of a live run) carrying:
+
+* ``execute`` records — ``(view, order, batch_digest, keys)`` emitted by
+  every replica's execution stage;
+* ``counter-cert`` records — ``(counter_id, new_value)`` emitted by a
+  pillar whenever its TrInX instance certifies a message;
+* ``client-invoke`` / ``client-complete`` records — the client-observed
+  start and end of each request, with operation and result.
+
+Three independent properties are checked:
+
+**Agreement.**  For every order number, all replicas that executed it
+must have executed identical batch *content* (same digest).  This is the
+property equivocation attacks — a leader proposing different requests to
+different followers under the same order — would break.
+
+**Certificate monotonicity.**  Within one ``(node, counter)`` stream,
+certified counter values must be strictly increasing: TrInX counters
+never repeat or go backwards, which is what makes the certificates
+equivocation-proof.  A replayed or double-assigned value here means a
+forged or reused certificate slipped through.
+
+**Linearizability.**  For the KV service, every completed ``get`` must
+return a value consistent with the real-time order of ``put``
+operations: the value of some put that could linearize before the get,
+not overwritten by a put that certainly linearized in between, and not
+the initial value if a put certainly completed first.  The KV workload
+writes unique values per key (request indices under per-client keys),
+which makes the interval check exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.tracing import Tracer
+
+_INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class SafetyViolation:
+    """One concrete violation, with enough context to debug it."""
+
+    kind: str  # "agreement" | "counter" | "linearizability"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class SafetyReport:
+    """Outcome of one checker run over a merged trace."""
+
+    violations: list[SafetyViolation] = field(default_factory=list)
+    orders_checked: int = 0
+    certificates_checked: int = 0
+    reads_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"safety {status}: {self.orders_checked} orders, "
+            f"{self.certificates_checked} certificates, "
+            f"{self.reads_checked} reads checked"
+        )
+
+    def __str__(self) -> str:
+        lines = [self.summary()]
+        lines.extend(str(v) for v in self.violations)
+        return "\n".join(lines)
+
+
+def check_safety(tracer: Tracer) -> SafetyReport:
+    """Run all three property checks over a merged trace."""
+    report = SafetyReport()
+    _check_agreement(tracer, report)
+    _check_counter_monotonicity(tracer, report)
+    _check_linearizability(tracer, report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Agreement
+# ----------------------------------------------------------------------
+def _check_agreement(tracer: Tracer, report: SafetyReport) -> None:
+    # order -> {replica: (digest, keys)}
+    executions: dict[int, dict[str, tuple[str, Any]]] = {}
+    for record in tracer.select(category="execute"):
+        detail = _as_tuple(record.detail)
+        if detail is None or len(detail) < 3:
+            continue
+        _view, order, digest = detail[0], int(detail[1]), detail[2]
+        keys = detail[3] if len(detail) > 3 else None
+        replica = record.node.split("/", 1)[0]
+        per_order = executions.setdefault(order, {})
+        if replica in per_order and per_order[replica][0] != digest:
+            report.violations.append(
+                SafetyViolation(
+                    "agreement",
+                    f"replica {replica} executed order {order} twice with "
+                    f"different content ({per_order[replica][0]} vs {digest})",
+                )
+            )
+        per_order[replica] = (digest, keys)
+
+    report.orders_checked = len(executions)
+    for order in sorted(executions):
+        per_order = executions[order]
+        digests = {digest for digest, _keys in per_order.values()}
+        if len(digests) > 1:
+            detail = ", ".join(
+                f"{replica}={digest} {keys}"
+                for replica, (digest, keys) in sorted(per_order.items())
+            )
+            report.violations.append(
+                SafetyViolation(
+                    "agreement",
+                    f"replicas diverge at order {order}: {detail}",
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Certificate monotonicity
+# ----------------------------------------------------------------------
+def _check_counter_monotonicity(tracer: Tracer, report: SafetyReport) -> None:
+    # (node, counter_id) -> last certified value
+    last_value: dict[tuple[str, Any], int] = {}
+    for record in tracer.select(category="counter-cert"):
+        detail = _as_tuple(record.detail)
+        if detail is None or len(detail) < 2:
+            continue
+        counter_id, value = _hashable(detail[0]), int(detail[1])
+        report.certificates_checked += 1
+        key = (record.node, counter_id)
+        previous = last_value.get(key)
+        if previous is not None and value <= previous:
+            report.violations.append(
+                SafetyViolation(
+                    "counter",
+                    f"{record.node} certified counter {counter_id} value {value} "
+                    f"after {previous} (reuse or decrease)",
+                )
+            )
+        if previous is None or value > previous:
+            last_value[key] = value
+
+
+# ----------------------------------------------------------------------
+# Linearizability (KV gets against put intervals)
+# ----------------------------------------------------------------------
+@dataclass
+class _Op:
+    client: str
+    request_id: int
+    operation: tuple
+    invoke_ns: int
+    complete_ns: float  # _INFINITY while pending
+    result: Any = None
+
+
+def _check_linearizability(tracer: Tracer, report: SafetyReport) -> None:
+    invokes: dict[tuple[str, int], _Op] = {}
+    completed: list[_Op] = []
+    for record in tracer.records:
+        if record.category == "client-invoke":
+            detail = _as_tuple(record.detail)
+            if detail is None or len(detail) < 3:
+                continue
+            client, request_id, operation = detail[0], int(detail[1]), _as_tuple(detail[2])
+            if not isinstance(operation, tuple):
+                continue  # null workload: nothing to check
+            invokes[(client, request_id)] = _Op(
+                client, request_id, operation, record.time_ns, _INFINITY
+            )
+        elif record.category == "client-complete":
+            detail = _as_tuple(record.detail)
+            if detail is None or len(detail) < 4:
+                continue
+            client, request_id = detail[0], int(detail[1])
+            op = invokes.get((client, request_id))
+            if op is None:
+                operation = _as_tuple(detail[2])
+                if not isinstance(operation, tuple):
+                    continue
+                # live traces may be truncated: synthesize a zero-length invoke
+                op = _Op(client, request_id, operation, record.time_ns, _INFINITY)
+                invokes[(client, request_id)] = op
+            op.complete_ns = record.time_ns
+            op.result = detail[3]
+            completed.append(op)
+
+    # Partition by key: writes (put) and reads (get), pending puts included
+    # as writes with an open-ended interval (they may have taken effect).
+    writes: dict[str, list[_Op]] = {}
+    reads: dict[str, list[_Op]] = {}
+    for op in invokes.values():
+        if not op.operation:
+            continue
+        verb = op.operation[0]
+        if verb == "put" and len(op.operation) >= 3:
+            writes.setdefault(str(op.operation[1]), []).append(op)
+        elif verb == "get" and len(op.operation) >= 2 and op.complete_ns is not _INFINITY:
+            reads.setdefault(str(op.operation[1]), []).append(op)
+
+    for key, key_reads in sorted(reads.items()):
+        key_writes = writes.get(key, [])
+        for read in sorted(key_reads, key=lambda op: op.invoke_ns):
+            report.reads_checked += 1
+            violation = _explain_read(key, read, key_writes)
+            if violation is not None:
+                report.violations.append(SafetyViolation("linearizability", violation))
+
+
+def _explain_read(key: str, read: _Op, writes: list[_Op]) -> str | None:
+    """Return a violation description for ``read``, or None if legal."""
+    value = read.result
+    if value is None:
+        # the initial value: illegal once any put certainly completed first
+        for write in writes:
+            if write.complete_ns < read.invoke_ns:
+                return (
+                    f"get({key}) by {read.client}#{read.request_id} returned the "
+                    f"initial value, but put(...{write.operation[2]!r}) by "
+                    f"{write.client}#{write.request_id} completed before it started"
+                )
+        return None
+
+    candidates = [w for w in writes if _values_equal(w.operation[2], value)]
+    if not candidates:
+        return (
+            f"get({key}) by {read.client}#{read.request_id} returned {value!r}, "
+            f"which no put ever wrote (phantom value)"
+        )
+    for write in candidates:
+        if write.invoke_ns >= read.complete_ns:
+            continue  # the write cannot linearize before this read
+        overwritten = any(
+            other is not write
+            and other.invoke_ns > write.complete_ns
+            and other.complete_ns < read.invoke_ns
+            for other in writes
+        )
+        if not overwritten:
+            return None
+    return (
+        f"get({key}) by {read.client}#{read.request_id} returned stale value "
+        f"{value!r}: every matching put was overwritten before the get began "
+        f"(or started after it ended)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Normalization: sim traces hold tuples, JSONL round-trips produce lists
+# ----------------------------------------------------------------------
+def _as_tuple(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_as_tuple(item) for item in value)
+    return value
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value
+
+
+def _values_equal(written: Any, observed: Any) -> bool:
+    return _hashable(written) == _hashable(observed)

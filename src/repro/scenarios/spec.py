@@ -1,0 +1,345 @@
+"""Scenario specifications: declarative TOML → :class:`ScenarioSpec`.
+
+A scenario file names one {protocol × fault schedule × workload} cell of
+the fault matrix.  The format (all sections except ``name`` optional):
+
+.. code-block:: toml
+
+    name = "sim-hybster-s-loss"
+    description = "2% message loss must not affect safety or liveness"
+    mode = "sim"                  # "sim" or "live"
+    tags = ["smoke", "loss"]
+
+    [deployment]                  # DeploymentSpec fields
+    protocol = "hybster-s"
+    service = "kv"
+    cores = 2
+    num_clients = 4
+    client_window = 2
+    checkpoint_interval = 32
+
+    [workload]
+    kind = "kv"                   # null | kv | coordination
+    keys = 8
+
+    [run]
+    duration_ms = 400             # sim: virtual time; live: wall-clock cap
+    requests = 200                # live: stop early once this many completed
+    seed = 42
+    trinx_verification = true     # false: disable certificate checks (!!)
+
+    [[faults]]
+    kind = "loss"                 # loss | partition | delay | reorder
+    rate = 0.02                   #   | crash | equivocate
+    start_ms = 0
+    end_ms = 300
+
+    [pass]
+    min_completed = 50
+    safety = true                 # the safety checker must pass
+    expect_safety_violation = false   # demonstration scenarios flip this
+
+Fault times are milliseconds on the run's clock (simulated time in sim
+mode, wall-clock since transport start in live mode).  Every random
+fault derives its RNG stream from ``run.seed`` via
+:func:`repro.sim.rand.derive_seed`, so a scenario replays bit-for-bit
+in the simulator given the same seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+    tomllib = None
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.chaos import (
+    ChaosPlan,
+    CrashWindows,
+    Equivocate,
+    ExtraDelay,
+    LossRate,
+    Partition,
+    Reorder,
+)
+from repro.errors import ConfigurationError
+from repro.runtime.deployment import PROTOCOLS, SERVICES, DeploymentSpec
+from repro.sim.rand import derive_seed
+
+MS = 1_000_000  # ns per millisecond
+
+MODES = ("sim", "live")
+FAULT_KINDS = ("loss", "partition", "delay", "reorder", "crash", "equivocate")
+WORKLOAD_KINDS = ("null", "kv", "coordination")
+
+_DEPLOYMENT_KEYS = (
+    "protocol", "cores", "ht_enabled", "service", "batch_size", "rotation",
+    "num_clients", "client_window", "client_machines", "payload_size",
+    "reply_payload_size", "checkpoint_interval", "window_size", "noop_delay_ns",
+)
+
+
+@dataclass
+class FaultSpec:
+    """One fault of the schedule: a kind plus its raw TOML parameters."""
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def window_ns(self) -> tuple[int, int | None]:
+        start = int(self.params.get("start_ms", 0)) * MS
+        end_ms = self.params.get("end_ms")
+        return start, (int(end_ms) * MS if end_ms is not None else None)
+
+
+@dataclass
+class PassCriteria:
+    """What makes the scenario PASS (beyond not crashing)."""
+
+    min_completed: int = 1
+    safety: bool = True
+    expect_safety_violation: bool = False
+    max_mean_latency_ms: float | None = None
+
+
+@dataclass
+class ScenarioSpec:
+    """A fully parsed scenario, ready for the engine."""
+
+    name: str
+    description: str = ""
+    mode: str = "sim"
+    tags: tuple[str, ...] = ()
+    deployment: dict[str, Any] = field(default_factory=dict)
+    workload: dict[str, Any] = field(default_factory=dict)
+    duration_ms: int = 400
+    requests: int = 100
+    seed: int = 0
+    trinx_verification: bool = True
+    faults: list[FaultSpec] = field(default_factory=list)
+    criteria: PassCriteria = field(default_factory=PassCriteria)
+    path: str = ""
+
+    # ------------------------------------------------------------------
+    def deployment_spec(self, seed_override: int | None = None) -> DeploymentSpec:
+        """Materialize the DeploymentSpec (with workload factory wired)."""
+        seed = self.seed if seed_override is None else seed_override
+        spec = DeploymentSpec(seed=seed, **self.deployment)
+        spec.workload_factory = _workload_factory(self.workload, spec, seed)
+        return spec
+
+    def build_filters(self, seed_override: int | None = None) -> list[Any]:
+        """Instantiate the fault schedule as chaos filters.
+
+        Each random fault forks its own seed stream from the scenario
+        seed and its index, so adding a fault never perturbs another.
+        """
+        seed = self.seed if seed_override is None else seed_override
+        filters: list[Any] = []
+        for index, fault in enumerate(self.faults):
+            filters.append(_build_filter(fault, derive_seed(seed, "fault", index, fault.kind)))
+        return filters
+
+    def chaos_plan(self, seed_override: int | None = None) -> ChaosPlan:
+        return ChaosPlan(self.build_filters(seed_override))
+
+
+# ----------------------------------------------------------------------
+# Fault construction
+# ----------------------------------------------------------------------
+def _build_filter(fault: FaultSpec, seed: int) -> Any:
+    params = fault.params
+    start_ns, end_ns = fault.window_ns()
+    pairs = _pairs(params)
+    if fault.kind == "loss":
+        loss = LossRate(float(params.get("rate", 0.01)), seed=seed, pairs=pairs)
+        # wrap the window around the rate filter so loss can be scheduled
+        return _Windowed(loss, start_ns, end_ns)
+    if fault.kind == "partition":
+        nodes = params.get("nodes")
+        if not nodes:
+            raise ConfigurationError(f"partition fault needs 'nodes': {params}")
+        return Partition(nodes, start_ns=start_ns, end_ns=end_ns)
+    if fault.kind == "delay":
+        delay = ExtraDelay(
+            int(params.get("delay_us", 100)) * 1_000,
+            jitter_ns=int(params.get("jitter_us", 0)) * 1_000,
+            seed=seed,
+            pairs=pairs,
+        )
+        return _Windowed(delay, start_ns, end_ns)
+    if fault.kind == "reorder":
+        reorder = Reorder(
+            float(params.get("fraction", 0.05)),
+            int(params.get("delay_us", 200)) * 1_000,
+            jitter_ns=int(params.get("jitter_us", 0)) * 1_000,
+            seed=seed,
+            pairs=pairs,
+        )
+        return _Windowed(reorder, start_ns, end_ns)
+    if fault.kind == "crash":
+        node = params.get("node")
+        if not node:
+            raise ConfigurationError(f"crash fault needs 'node': {params}")
+        windows = params.get("windows_ms")
+        if windows:
+            windows_ns = [
+                (int(w[0]) * MS, int(w[1]) * MS if len(w) > 1 and w[1] is not None else None)
+                for w in windows
+            ]
+        else:
+            windows_ns = [(start_ns, end_ns)]
+        return CrashWindows(node, windows_ns)
+    if fault.kind == "equivocate":
+        victims = params.get("victims")
+        if not victims:
+            raise ConfigurationError(f"equivocate fault needs 'victims': {params}")
+        forged = params.get("forged_operation", ["add", 666])
+        return Equivocate(
+            params.get("source", "r0"),
+            victims,
+            forged_operation=tuple(forged) if isinstance(forged, list) else forged,
+            start_ns=start_ns,
+            end_ns=end_ns,
+            max_attempts=params.get("max_attempts"),
+        )
+    raise ConfigurationError(f"unknown fault kind {fault.kind!r}; expected one of {FAULT_KINDS}")
+
+
+class _Windowed:
+    """Restrict an inner filter to a [start_ns, end_ns) activity window."""
+
+    def __init__(self, inner: Any, start_ns: int, end_ns: int | None):
+        self.inner = inner
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+
+    def decide(self, src: str, dst: str, message: Any, size: int, now: int):
+        if now < self.start_ns or (self.end_ns is not None and now >= self.end_ns):
+            from repro.chaos.base import DELIVER
+
+            return DELIVER
+        return self.inner.decide(src, dst, message, size, now)
+
+
+def _pairs(params: dict) -> set[tuple[str, str]] | None:
+    raw = params.get("pairs")
+    if raw is None:
+        return None
+    return {(pair[0], pair[1]) for pair in raw}
+
+
+# ----------------------------------------------------------------------
+# Workload construction
+# ----------------------------------------------------------------------
+def _workload_factory(workload: dict, spec: DeploymentSpec, seed: int):
+    from repro.clients.workload import (
+        CoordinationWorkload,
+        KeyValueWorkload,
+        NullWorkload,
+    )
+
+    kind = workload.get("kind", "null")
+    if kind == "null":
+        return None  # DeploymentSpec defaults to NullWorkload(payload_size)
+    if kind == "kv":
+        keys = int(workload.get("keys", 8))
+        payload = int(workload.get("payload_size", spec.payload_size))
+
+        def factory(client_id: str, index: int):
+            return KeyValueWorkload(
+                client_id, keys=keys, payload_size=payload,
+                seed=derive_seed(seed, "workload", client_id),
+            )
+
+        return factory
+    if kind == "coordination":
+        read_fraction = float(workload.get("read_fraction", 0.5))
+        node_size = int(workload.get("node_size", 128))
+        nodes = int(workload.get("nodes", 8))
+
+        def factory(client_id: str, index: int):
+            return CoordinationWorkload(
+                client_id, read_fraction, node_size=node_size, nodes=nodes,
+                seed=derive_seed(seed, "workload", client_id),
+            )
+
+        return factory
+    raise ConfigurationError(
+        f"unknown workload kind {kind!r}; expected one of {WORKLOAD_KINDS}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def load_scenario(path: str) -> ScenarioSpec:
+    """Parse and validate one scenario TOML file."""
+    if tomllib is None:  # pragma: no cover - Python < 3.11
+        raise ConfigurationError("scenario files require Python >= 3.11 (tomllib)")
+    with open(path, "rb") as fh:
+        raw = tomllib.load(fh)
+    name = raw.get("name") or os.path.splitext(os.path.basename(path))[0]
+    mode = raw.get("mode", "sim")
+    if mode not in MODES:
+        raise ConfigurationError(f"{path}: mode must be one of {MODES}, got {mode!r}")
+
+    deployment = dict(raw.get("deployment", {}))
+    unknown = set(deployment) - set(_DEPLOYMENT_KEYS)
+    if unknown:
+        raise ConfigurationError(f"{path}: unknown deployment keys {sorted(unknown)}")
+    protocol = deployment.get("protocol", "hybster-x")
+    if protocol not in PROTOCOLS:
+        raise ConfigurationError(f"{path}: unknown protocol {protocol!r}")
+    service = deployment.get("service", "null")
+    if service not in SERVICES:
+        raise ConfigurationError(f"{path}: unknown service {service!r}")
+
+    run = raw.get("run", {})
+    faults = []
+    for entry in raw.get("faults", []):
+        entry = dict(entry)
+        kind = entry.pop("kind", None)
+        if kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"{path}: fault kind must be one of {FAULT_KINDS}, got {kind!r}"
+            )
+        faults.append(FaultSpec(kind, entry))
+
+    pass_section = raw.get("pass", {})
+    criteria = PassCriteria(
+        min_completed=int(pass_section.get("min_completed", 1)),
+        safety=bool(pass_section.get("safety", True)),
+        expect_safety_violation=bool(pass_section.get("expect_safety_violation", False)),
+        max_mean_latency_ms=pass_section.get("max_mean_latency_ms"),
+    )
+
+    return ScenarioSpec(
+        name=name,
+        description=raw.get("description", ""),
+        mode=mode,
+        tags=tuple(raw.get("tags", ())),
+        deployment=deployment,
+        workload=dict(raw.get("workload", {})),
+        duration_ms=int(run.get("duration_ms", 400)),
+        requests=int(run.get("requests", 100)),
+        seed=int(run.get("seed", 0)),
+        trinx_verification=bool(run.get("trinx_verification", True)),
+        faults=faults,
+        criteria=criteria,
+        path=path,
+    )
+
+
+def load_scenarios(directory: str) -> list[ScenarioSpec]:
+    """Load every ``*.toml`` under ``directory``, sorted by name."""
+    specs = []
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".toml"):
+            specs.append(load_scenario(os.path.join(directory, entry)))
+    return sorted(specs, key=lambda s: s.name)

@@ -1,122 +1,58 @@
-"""Fault injection for the simulated network and replicas.
+"""Fault injection for simulated runs — now a thin façade over
+:mod:`repro.chaos`.
 
-The paper's system model is partially synchronous: messages may be delayed
-or lost for arbitrary (but finite) periods.  These filters create exactly
-those conditions deterministically:
+The filter implementations were lifted into the transport-agnostic
+:mod:`repro.chaos` package so the *same* objects plug into both the
+discrete-event :class:`~repro.sim.network.Network` and the live TCP
+transport (:class:`~repro.net.transport.TcpTransport`).  This module
+re-exports them so existing imports keep working.
+
+Available filters (see :mod:`repro.chaos.filters` for details):
 
 * :class:`LossRate` — drop a random fraction of messages (seeded RNG).
 * :class:`Partition` — isolate a set of nodes during a time window.
-* :class:`TargetedDrop` — drop messages matching a predicate (used to build
-  the Figure-3 scenario, e.g. "R2 receives no ordering messages").
+* :class:`TargetedDrop` — drop messages matching a predicate (used to
+  build the Figure-3 scenario, e.g. "R2 receives no ordering messages").
 * :class:`ExtraDelay` — add constant or random latency between node pairs.
-* :class:`FaultPlan` — compose several filters.
+* :class:`Reorder` — randomly delay a fraction of messages so they
+  overtake later ones.
+* :class:`CrashWindows` — crash a whole node for bounded windows and let
+  it *recover* afterwards (crash faults are no longer limited to
+  permanent partitions).
+* :class:`Equivocate` — tamper with PREPAREs towards selected peers, the
+  equivocation attempt TrInX certificates must expose.
+* :class:`FaultPlan` / :class:`ChaosPlan` — compose several filters.
 
-Crash faults of whole replicas are modelled by partitioning them away
-forever; Byzantine behaviour is modelled in protocol code (see
-``repro.core`` test doubles), not in the network.
+Byzantine behaviour beyond message tampering is modelled in protocol code
+(see :mod:`repro.byzantine`), not in the network.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from repro.chaos.base import DELIVER, FilterDecision, MessageFilter
+from repro.chaos.filters import (
+    ChaosPlan,
+    CrashWindows,
+    Equivocate,
+    ExtraDelay,
+    FaultPlan,
+    LossRate,
+    Partition,
+    Reorder,
+    TargetedDrop,
+)
 
-from repro.sim.network import DELIVER, FilterDecision
-from repro.sim.rand import DeterministicRandom
-
-
-class LossRate:
-    """Drop each message independently with probability ``rate``."""
-
-    def __init__(self, rate: float, seed: int = 0, pairs: set[tuple[str, str]] | None = None):
-        if not 0.0 <= rate <= 1.0:
-            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
-        self.rate = rate
-        self.pairs = pairs
-        self._rng = DeterministicRandom(seed)
-
-    def decide(self, src: str, dst: str, message: Any, size: int, now: int) -> FilterDecision:
-        if self.pairs is not None and (src, dst) not in self.pairs:
-            return DELIVER
-        if self._rng.random() < self.rate:
-            return FilterDecision(drop=True)
-        return DELIVER
-
-
-class Partition:
-    """Cut all traffic to and from ``nodes`` during [start_ns, end_ns)."""
-
-    def __init__(self, nodes: Iterable[str], start_ns: int = 0, end_ns: int | None = None):
-        self.nodes = set(nodes)
-        self.start_ns = start_ns
-        self.end_ns = end_ns
-
-    def active(self, now: int) -> bool:
-        if now < self.start_ns:
-            return False
-        return self.end_ns is None or now < self.end_ns
-
-    def decide(self, src: str, dst: str, message: Any, size: int, now: int) -> FilterDecision:
-        if self.active(now) and (src in self.nodes) != (dst in self.nodes):
-            return FilterDecision(drop=True)
-        return DELIVER
-
-
-class TargetedDrop:
-    """Drop messages for which ``predicate(src, dst, message)`` is true."""
-
-    def __init__(self, predicate: Callable[[str, str, Any], bool]):
-        self.predicate = predicate
-        self.dropped = 0
-
-    def decide(self, src: str, dst: str, message: Any, size: int, now: int) -> FilterDecision:
-        if self.predicate(src, dst, message):
-            self.dropped += 1
-            return FilterDecision(drop=True)
-        return DELIVER
-
-
-class ExtraDelay:
-    """Add latency between node pairs: constant plus optional jitter."""
-
-    def __init__(
-        self,
-        delay_ns: int,
-        jitter_ns: int = 0,
-        seed: int = 0,
-        pairs: set[tuple[str, str]] | None = None,
-    ):
-        if delay_ns < 0 or jitter_ns < 0:
-            raise ValueError("delays must be non-negative")
-        self.delay_ns = delay_ns
-        self.jitter_ns = jitter_ns
-        self.pairs = pairs
-        self._rng = DeterministicRandom(seed)
-
-    def decide(self, src: str, dst: str, message: Any, size: int, now: int) -> FilterDecision:
-        if self.pairs is not None and (src, dst) not in self.pairs:
-            return DELIVER
-        extra = self.delay_ns
-        if self.jitter_ns:
-            extra += self._rng.randint(0, self.jitter_ns)
-        return FilterDecision(extra_delay_ns=extra)
-
-
-class FaultPlan:
-    """Compose filters: first drop wins, delays accumulate."""
-
-    def __init__(self, filters: Iterable[Any] = ()):
-        self.filters = list(filters)
-
-    def add(self, message_filter: Any) -> None:
-        self.filters.append(message_filter)
-
-    def decide(self, src: str, dst: str, message: Any, size: int, now: int) -> FilterDecision:
-        total_delay = 0
-        for message_filter in self.filters:
-            decision = message_filter.decide(src, dst, message, size, now)
-            if decision.drop:
-                return decision
-            total_delay += decision.extra_delay_ns
-        if total_delay:
-            return FilterDecision(extra_delay_ns=total_delay)
-        return DELIVER
+__all__ = [
+    "DELIVER",
+    "FilterDecision",
+    "MessageFilter",
+    "ChaosPlan",
+    "CrashWindows",
+    "Equivocate",
+    "ExtraDelay",
+    "FaultPlan",
+    "LossRate",
+    "Partition",
+    "Reorder",
+    "TargetedDrop",
+]

@@ -10,38 +10,32 @@ The ingress queue is what makes all-to-all protocol phases (and reply
 incast at clients) contend realistically.
 
 Fault injection is layered on top: an optional :class:`MessageFilter`
-(see :mod:`repro.sim.faults`) may drop or delay individual messages.
+(see :mod:`repro.chaos`) may drop, delay, or replace individual messages.
+The decision types live in :mod:`repro.chaos.base` so the live TCP
+transport applies the *same* filter objects; they are re-exported here
+for backwards compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Protocol
+from typing import Any, Callable
 
+from repro.chaos.base import DELIVER, FilterDecision, MessageFilter
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.kernel import Simulator
 
+__all__ = [
+    "DELIVER",
+    "FilterDecision",
+    "MessageFilter",
+    "Network",
+    "NetworkInterface",
+    "GIGABIT_PER_SECOND",
+    "DEFAULT_LAN_LATENCY_NS",
+]
+
 GIGABIT_PER_SECOND = 125_000_000  # bytes/s
 DEFAULT_LAN_LATENCY_NS = 35_000  # one-way propagation + switching, 35 us
-
-
-class MessageFilter(Protocol):
-    """Decides the fate of a message in flight (see repro.sim.faults)."""
-
-    def decide(self, src: str, dst: str, message: Any, size: int, now: int) -> "FilterDecision":
-        ...  # pragma: no cover - protocol
-
-
-class FilterDecision:
-    """Outcome of a fault filter: drop, or deliver after an extra delay."""
-
-    __slots__ = ("drop", "extra_delay_ns")
-
-    def __init__(self, drop: bool = False, extra_delay_ns: int = 0):
-        self.drop = drop
-        self.extra_delay_ns = extra_delay_ns
-
-
-DELIVER = FilterDecision()
 
 
 class NetworkInterface:
@@ -88,6 +82,8 @@ class Network:
         self._filters: list[MessageFilter] = []
         self.messages_sent = 0
         self.messages_dropped = 0
+        self.messages_delayed = 0
+        self.messages_injected = 0
 
     # ------------------------------------------------------------------
     # Topology
@@ -138,6 +134,11 @@ class Network:
                 self.messages_dropped += 1
                 return
             extra_delay += decision.extra_delay_ns
+            if decision.replace is not None:
+                message = decision.replace
+                self.messages_injected += 1
+        if extra_delay:
+            self.messages_delayed += 1
 
         src_nic = self._interfaces[src]
         now = self.sim.now

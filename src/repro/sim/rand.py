@@ -9,6 +9,18 @@ given the experiment seed.
 from __future__ import annotations
 
 import random
+import zlib
+
+
+def derive_seed(master: int, *parts: object) -> int:
+    """Derive a stable sub-seed from a master seed and labelling parts.
+
+    Unlike ``hash()``, the derivation is stable across interpreter runs
+    even for strings (``PYTHONHASHSEED`` does not apply), so seeds plumbed
+    through CLIs (``--seed``) reproduce chaos schedules bit-for-bit.
+    """
+    material = repr((master,) + parts).encode("utf-8")
+    return zlib.crc32(material) & 0x7FFFFFFF
 
 
 class DeterministicRandom:

@@ -257,3 +257,163 @@ def test_peer_connection_flushes_queue_in_order():
         assert received == [bytes([i]) for i in range(10)]
 
     asyncio.run(scenario())
+
+# ----------------------------------------------------------------------
+# Chaos injection on the live transport
+# ----------------------------------------------------------------------
+def test_chaos_filter_drops_frames_and_counts():
+    from repro.chaos import LossRate
+
+    async def scenario():
+        inbox = []
+        transport = _transport(["a", "b"])
+        transport.register("a", lambda src, env: None)
+        transport.register("b", lambda src, env: inbox.append(env))
+        transport.add_filter(LossRate(1.0))  # drop everything
+        async with transport:
+            envelope = Envelope(("a", "c0"), "handler", REQUEST)
+            for _ in range(5):
+                transport.send("a", "b", envelope, REQUEST.wire_size())
+            await asyncio.sleep(0.1)
+        assert inbox == []
+        assert transport.chaos_dropped == 5
+        assert transport.interface("a").chaos_dropped == 5
+
+    asyncio.run(scenario())
+
+
+def test_chaos_filter_delays_but_still_delivers():
+    from repro.chaos import ExtraDelay
+
+    async def scenario():
+        got = asyncio.Event()
+        transport = _transport(["a", "b"])
+        transport.register("a", lambda src, env: None)
+        transport.register("b", lambda src, env: got.set())
+        transport.add_filter(ExtraDelay(30_000_000))  # 30 ms
+        async with transport:
+            transport.send("a", "b", Envelope(("a", "c0"), "handler", REQUEST), REQUEST.wire_size())
+            assert not got.is_set()  # still parked on the loop's timer
+            await asyncio.wait_for(got.wait(), timeout=5)
+        assert transport.chaos_delayed == 1
+
+    asyncio.run(scenario())
+
+
+def test_chaos_filter_replaces_message_in_flight():
+    async def scenario():
+        inbox = []
+        got = asyncio.Event()
+        forged = Request("clients0:c0", 7, ("add", 666), 0, b"\x11" * 32)
+
+        class Forge:
+            def decide(self, src, dst, message, size, now):
+                from repro.chaos import FilterDecision
+
+                return FilterDecision(replace=Envelope(message.src, message.dst_stage, forged))
+
+        transport = _transport(["a", "b"])
+        transport.register("a", lambda src, env: None)
+
+        def receive(src, env):
+            inbox.append(env.message)
+            got.set()
+
+        transport.register("b", receive)
+        transport.add_filter(Forge())
+        async with transport:
+            transport.send("a", "b", Envelope(("a", "c0"), "handler", REQUEST), REQUEST.wire_size())
+            await asyncio.wait_for(got.wait(), timeout=5)
+        assert inbox == [forged]
+        assert transport.chaos_injected == 1
+
+    asyncio.run(scenario())
+
+
+def test_remove_filter_restores_clean_delivery():
+    from repro.chaos import LossRate
+
+    async def scenario():
+        got = asyncio.Event()
+        transport = _transport(["a", "b"])
+        transport.register("a", lambda src, env: None)
+        transport.register("b", lambda src, env: got.set())
+        blackhole = LossRate(1.0)
+        transport.add_filter(blackhole)
+        async with transport:
+            transport.send("a", "b", Envelope(("a", "c0"), "handler", REQUEST), REQUEST.wire_size())
+            transport.remove_filter(blackhole)
+            transport.send("a", "b", Envelope(("a", "c0"), "handler", REQUEST), REQUEST.wire_size())
+            await asyncio.wait_for(got.wait(), timeout=5)
+        assert transport.chaos_dropped == 1
+
+    asyncio.run(scenario())
+
+
+def test_transport_clock_drives_filter_windows():
+    from repro.chaos import CrashWindows
+
+    async def scenario():
+        inbox = []
+        fake_now = {"ns": 0}
+        transport = TcpTransport(
+            {"a": ("127.0.0.1", 0), "b": ("127.0.0.1", 0)},
+            clock=lambda: fake_now["ns"],
+        )
+        transport.register("a", lambda src, env: None)
+        transport.register("b", lambda src, env: inbox.append(env))
+        transport.add_filter(CrashWindows("b", [(0, 1_000)]))
+        async with transport:
+            envelope = Envelope(("a", "c0"), "handler", REQUEST)
+            transport.send("a", "b", envelope, REQUEST.wire_size())  # inside window
+            fake_now["ns"] = 2_000  # the crash window closes
+            transport.send("a", "b", envelope, REQUEST.wire_size())
+            for _ in range(100):
+                if inbox:
+                    break
+                await asyncio.sleep(0.01)
+        assert len(inbox) == 1
+        assert transport.chaos_dropped == 1
+
+    asyncio.run(scenario())
+
+
+def test_drop_connections_severs_and_peer_reconnects():
+    async def scenario():
+        inbox = []
+        config = PeerConfig(backoff_base_s=0.01, backoff_max_s=0.05)
+        transport = _transport(["a", "b"], peer_config=config)
+        transport.register("a", lambda src, env: None)
+        transport.register("b", lambda src, env: inbox.append(env))
+        async with transport:
+            envelope = Envelope(("a", "c0"), "handler", REQUEST)
+            transport.send("a", "b", envelope, REQUEST.wire_size())
+            for _ in range(200):
+                if inbox:
+                    break
+                await asyncio.sleep(0.01)
+            assert len(inbox) == 1
+
+            killed = transport.drop_connections("b")
+            assert killed >= 1
+
+            # reconnect/backoff must bring the link back without outside help
+            delivered = len(inbox)
+            for _ in range(200):
+                transport.send("a", "b", envelope, REQUEST.wire_size())
+                await asyncio.sleep(0.01)
+                if len(inbox) > delivered:
+                    break
+            assert len(inbox) > delivered
+
+    asyncio.run(scenario())
+
+
+def test_drop_connections_on_unknown_node_is_a_noop():
+    async def scenario():
+        transport = _transport(["a", "b"])
+        transport.register("a", lambda src, env: None)
+        async with transport:
+            assert transport.drop_connections("ghost") == 0
+
+    asyncio.run(scenario())
