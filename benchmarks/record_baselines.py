@@ -1,15 +1,24 @@
 """Record fault-free throughput baselines as ``BENCH_*.json``.
 
-Two artifacts, both 3-replica fault-free Hybster runs (the Figure-5a
-operating point: null requests, no payload):
+Four artifacts, all 3-replica fault-free Hybster runs:
 
 * ``BENCH_fig5a_sim.json`` — simulated hybster-s and hybster-x
-  throughput/latency from ``run_benchmark`` (deterministic, virtual
-  time, so these numbers only move when the model moves);
+  throughput/latency from ``run_benchmark`` (the Figure-5a operating
+  point: null requests, no payload; deterministic, virtual time, so
+  these numbers only move when the model moves);
 * ``BENCH_live_3replica.json`` — the live TCP transport running the
   whole group in one process (wall-clock numbers; machine-dependent,
   recorded to make order-of-magnitude regressions visible, not for
-  exact comparison).
+  exact comparison);
+* ``BENCH_gateway_sim.json`` — open-loop Poisson load through the
+  gateway tier in the simulator (deterministic: goodput and the
+  p50/p99/p999 SLO trio reproduce bit-for-bit under the fixed seed);
+* ``BENCH_gateway_live.json`` — the same gateway configuration over
+  live localhost TCP (wall-clock, machine-dependent).
+
+Every run records mean *and* p50/p99/p999 latency — tail behaviour is
+the point of the open-loop artifacts, and the closed-loop ones get the
+percentiles for free.
 
 Run from the repository root::
 
@@ -28,12 +37,15 @@ import os
 import platform
 import sys
 
+from repro.gateway.config import GatewayConfig
+from repro.gateway.runner import run_gateway_live, run_gateway_sim
 from repro.runtime.benchmark import run_benchmark
 from repro.runtime.deployment import DeploymentSpec, build_deployment
 from repro.runtime.live import run_live
 
 SIM_PROTOCOLS = ("hybster-s", "hybster-x")
 LIVE_PROTOCOLS = ("hybster-s", "hybster-x")
+GATEWAY_SEED = 1702
 
 
 def _sim_spec(protocol: str) -> DeploymentSpec:
@@ -57,6 +69,7 @@ def record_sim() -> dict:
                 "replicas": 3,
                 "throughput_ops": round(result.throughput_ops, 1),
                 "mean_latency_ms": round(result.latency_ms, 4),
+                "latency_ms": result.latency.percentiles_ms(),
                 "completed": result.completed,
                 "measure_ns": result.measure_ns,
                 "replica_cpu_utilization": round(result.replica_cpu_utilization, 4),
@@ -91,6 +104,9 @@ def record_live() -> dict:
                 "mean_latency_ms": (
                     round(result.latency.mean_ms, 4) if result.latency.count else None
                 ),
+                "latency_ms": (
+                    result.latency.percentiles_ms() if result.latency.count else None
+                ),
                 "completed": result.completed,
                 "elapsed_s": round(result.elapsed_s, 3),
                 "transport_sent": result.transport_sent,
@@ -110,16 +126,73 @@ def record_live() -> dict:
     }
 
 
+def _gateway_spec(protocol: str, mode: str) -> DeploymentSpec:
+    return DeploymentSpec(
+        protocol=protocol,
+        cores=4 if mode == "sim" else 2,
+        service="null",
+        num_clients=0,
+        client_machines=1,
+        seed=GATEWAY_SEED,
+        gateway=GatewayConfig(
+            sessions=200,
+            arrivals="poisson",
+            rate_ops=4000.0 if mode == "sim" else 1000.0,
+            queue_capacity=1024,
+            max_outstanding=64,
+        ),
+    )
+
+
+def record_gateway_sim() -> dict:
+    runs = []
+    for protocol in SIM_PROTOCOLS:
+        result = run_gateway_sim(_gateway_spec(protocol, "sim"), duration_ms=500)
+        runs.append({"replicas": 3, **result.to_json()})
+    return {
+        "benchmark": "gateway_sim",
+        "description": "open-loop Poisson load (200 sessions) through one "
+        "gateway node, simulated 3-replica group",
+        "deterministic": True,
+        "seed": GATEWAY_SEED,
+        "runs": runs,
+    }
+
+
+def record_gateway_live() -> dict:
+    runs = []
+    for protocol in LIVE_PROTOCOLS:
+        result = run_gateway_live(_gateway_spec(protocol, "live"), duration_s=5.0)
+        runs.append({"replicas": 3, **result.to_json()})
+    return {
+        "benchmark": "gateway_live",
+        "description": "open-loop Poisson load (200 sessions) through one "
+        "gateway node, live localhost TCP 3-replica group",
+        "deterministic": False,
+        "seed": GATEWAY_SEED,
+        "machine": {
+            "python": platform.python_version(),
+            "system": platform.system(),
+            "cpus": os.cpu_count(),
+        },
+        "runs": runs,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out-dir", default=".")
     parser.add_argument("--skip-live", action="store_true",
-                        help="record only the deterministic sim baseline")
+                        help="record only the deterministic sim baselines")
     args = parser.parse_args(argv)
 
-    artifacts = {"BENCH_fig5a_sim.json": record_sim()}
+    artifacts = {
+        "BENCH_fig5a_sim.json": record_sim(),
+        "BENCH_gateway_sim.json": record_gateway_sim(),
+    }
     if not args.skip_live:
         artifacts["BENCH_live_3replica.json"] = record_live()
+        artifacts["BENCH_gateway_live.json"] = record_gateway_live()
 
     for name, payload in artifacts.items():
         path = os.path.join(args.out_dir, name)
@@ -127,9 +200,12 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
         for run in payload["runs"]:
+            rate = run.get("throughput_ops", run.get("goodput_ops", 0.0))
+            latency = run.get("latency_ms") or {}
             print(
-                f"{name}: {run['protocol']} {run['throughput_ops']:.0f} ops/s, "
-                f"mean latency {run['mean_latency_ms']} ms"
+                f"{name}: {run['protocol']} {rate:.0f} ops/s, "
+                f"p50/p99/p999 {latency.get('p50')}/{latency.get('p99')}/"
+                f"{latency.get('p999')} ms"
             )
     return 0
 

@@ -67,3 +67,47 @@ class LatencyStats:
         ordered = sorted(self._reservoir)
         index = min(len(ordered) - 1, int(round((p / 100.0) * (len(ordered) - 1))))
         return float(ordered[index])
+
+    def percentile_ms(self, p: float) -> float:
+        return self.percentile_ns(p) / 1e6
+
+    def to_json(self) -> dict:
+        """Serializable form (exact aggregates + the reservoir).
+
+        Lets a child OS process ship its latency distribution to a parent,
+        which rebuilds it with :meth:`from_json` and :meth:`merge`\\ s — the
+        only way to get group-wide percentiles out of a process-per-node
+        run, since percentiles themselves do not compose.
+        """
+        return {
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+            "samples_ns": list(self._reservoir),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "LatencyStats":
+        stats = cls()
+        stats.count = int(data.get("count", 0))
+        stats.total_ns = int(data.get("total_ns", 0))
+        stats.min_ns = data.get("min_ns")
+        stats.max_ns = data.get("max_ns")
+        stats._reservoir = [int(s) for s in data.get("samples_ns", [])][: stats._reservoir_size]
+        return stats
+
+    def percentiles_ms(self) -> dict[str, float]:
+        """The SLO trio (p50/p99/p999) plus mean and max, in milliseconds.
+
+        p999 comes from the same reservoir as the rest; with the default
+        4096-sample reservoir it is a ~4-sample tail estimate — coarse,
+        but stable enough to catch order-of-magnitude tail regressions.
+        """
+        return {
+            "mean": round(self.mean_ms, 4),
+            "p50": round(self.percentile_ms(50), 4),
+            "p99": round(self.percentile_ms(99), 4),
+            "p999": round(self.percentile_ms(99.9), 4),
+            "max": round((self.max_ns or 0) / 1e6, 4),
+        }

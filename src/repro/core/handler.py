@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.config import ReplicaGroupConfig
+from repro.core.config import ReplicaGroupConfig, _stable_hash
 from repro.crypto.provider import CryptoProvider
 from repro.messages.client import Request, RequestBurst
 from repro.messages.internal import Executed, OrderRequest, ReReply, RequestVc, ViewInstalled
@@ -58,6 +58,11 @@ class ClientHandler(Stage):
         self._in_flight: dict[tuple[str, int], _InFlight] = {}
         self._proposing_pillars = config.proposing_pillars(replica_id, 0)
         self._next_pillar = 0
+        # Gateway deployments pin each client (session) to one ordering
+        # pillar by a stable hash of its id, so a session's requests stay
+        # in one COP lane; the default round-robin spreads single clients
+        # across pillars for maximum parallelism.
+        self.sticky_client_pillars = False
         self.requests_accepted = 0
         self.duplicates_dropped = 0
 
@@ -109,8 +114,12 @@ class ClientHandler(Stage):
     def _propose(self, request: Request) -> None:
         if not self._proposing_pillars:
             return  # we propose nowhere in this view (fixed-leader follower)
-        index = self._proposing_pillars[self._next_pillar % len(self._proposing_pillars)]
-        self._next_pillar += 1
+        if self.sticky_client_pillars:
+            slot = _stable_hash(request.client_id) % len(self._proposing_pillars)
+        else:
+            slot = self._next_pillar % len(self._proposing_pillars)
+            self._next_pillar += 1
+        index = self._proposing_pillars[slot]
         self.send(self.pillar_addresses[index], OrderRequest((request,)))
 
     def _suspect(self, key: tuple[str, int]) -> None:

@@ -1,0 +1,61 @@
+"""Gateway tier configuration.
+
+A :class:`GatewayConfig` describes the serving front door of one
+deployment: how many gateway nodes stand in front of the replica group,
+how many logical client sessions each multiplexes, the open-loop arrival
+process driving them, and the admission/lease policy.  It rides inside
+:class:`~repro.runtime.deployment.DeploymentSpec` so simulated and live
+builders (and scenario TOML files) configure the tier identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.loadgen.arrivals import ARRIVAL_KINDS
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Static configuration of the gateway tier."""
+
+    gateways: int = 1
+    sessions: int = 100            # logical client sessions per gateway
+    arrivals: str = "poisson"      # poisson | bursty | diurnal
+    rate_ops: float = 1000.0       # aggregate arrival rate per gateway (ops/s)
+    on_ms: float = 50.0            # bursty: burst length
+    off_ms: float = 50.0           # bursty: silence length
+    period_ms: float = 1000.0      # diurnal: ramp period
+    peak_factor: float = 3.0       # diurnal: peak rate / base rate
+    queue_capacity: int = 1024     # admission queue bound; overflow is shed
+    max_outstanding: int = 64      # in-flight requests toward the group
+    request_timeout_ms: float = 400.0
+    max_retries: int = 3           # retransmissions before a request is failed
+    read_lease_ms: float = 0.0     # 0 disables the read fast path
+    sticky_pillars: bool = True    # hash sessions to pillars on the proposer
+    connection_pool: int = 1       # live: parallel TCP connections per peer
+
+    def __post_init__(self) -> None:
+        if self.gateways < 1:
+            raise ConfigurationError("at least one gateway node")
+        if self.sessions < 1:
+            raise ConfigurationError("at least one session per gateway")
+        if self.arrivals not in ARRIVAL_KINDS:
+            raise ConfigurationError(
+                f"unknown arrival kind {self.arrivals!r}; expected one of {ARRIVAL_KINDS}"
+            )
+        if self.queue_capacity < 1:
+            raise ConfigurationError("admission queue capacity must be positive")
+        if self.max_outstanding < 1:
+            raise ConfigurationError("max_outstanding must be positive")
+        if self.connection_pool < 1:
+            raise ConfigurationError("connection pool size must be positive")
+
+    def arrival_params(self) -> dict:
+        return {
+            "on_ms": self.on_ms,
+            "off_ms": self.off_ms,
+            "period_ms": self.period_ms,
+            "peak_factor": self.peak_factor,
+        }

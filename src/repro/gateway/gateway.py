@@ -1,0 +1,368 @@
+"""The gateway stage: a client-multiplexing front door.
+
+One :class:`GatewayStage` stands between many *logical client sessions*
+and the replica group.  Sessions do not own sockets or stages — the
+gateway holds the group-facing connections (one shared transport
+identity per gateway node) and speaks the ordinary client protocol on
+behalf of every session, so "millions of users" costs the group exactly
+one peer, not millions.
+
+Mechanics:
+
+* **Sessions** — each session has its own ``client_id``
+  (``<node>:gateway/s<i>``), its own request-id sequence, and its own
+  workload stream, so replica-side deduplication, reply caching, and
+  proposer affinity all work unchanged.  Replies addressed to the
+  session's virtual stage name are routed back to the gateway by the
+  endpoint's session-suffix fallback (see ``Endpoint._receive``).
+* **Open-loop admission** — an :class:`~repro.loadgen.arrivals.
+  ArrivalProcess` fires arrivals on its own schedule.  Each arrival is
+  assigned to a session and enters a bounded admission queue; when the
+  queue is full the arrival is *shed* (counted, never silently dropped).
+  At most ``max_outstanding`` requests are in flight toward the group —
+  the gateway's backpressure window — and latency is measured from
+  *arrival* to completion, so queueing delay is part of the number.
+* **Session affinity** — a session's requests always target the replica
+  that proposes for its ``client_id`` (the stable-hash partition of
+  :meth:`ReplicaGroupConfig.proposer_replica_for_client`); with
+  ``sticky_pillars`` the proposer additionally pins the session to one
+  ordering pillar, keeping one session's requests in one COP lane.
+* **Read leases** — optionally, coordination-service ``get`` operations
+  are served from a gateway-local cache of committed results while a
+  lease is fresh (renewed by every replicated completion).  The cache
+  only ever holds results the group committed *through this gateway*,
+  giving leased reads monotonic read-your-writes consistency for the
+  sessions behind it; they are traced under ``gateway-local-read`` so
+  the linearizability checker does not mistake them for replicated ops.
+* **Timeouts** — an unanswered request is re-multicast to the whole
+  group (arming leader suspicion, like a retrying client) up to
+  ``max_retries`` times, then counted as failed and dropped so an
+  unreachable group cannot pin the window forever.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.clients.stats import LatencyStats
+from repro.core.config import ReplicaGroupConfig
+from repro.crypto.provider import CryptoProvider
+from repro.gateway.config import GatewayConfig
+from repro.loadgen.arrivals import ArrivalProcess
+from repro.loadgen.slo import SLOReport
+from repro.messages.client import Reply, Request, RequestBurst
+from repro.sim.process import Address, Endpoint, Stage
+from repro.sim.rand import DeterministicRandom, derive_seed
+from repro.sim.resources import SimThread
+
+MS = 1_000_000
+
+
+class GatewaySession:
+    """One logical client multiplexed over the gateway's connections."""
+
+    __slots__ = ("index", "client_id", "workload", "next_request_id", "setup_queue", "in_setup", "backlog")
+
+    def __init__(self, index: int, client_id: str, workload):
+        self.index = index
+        self.client_id = client_id
+        self.workload = workload
+        self.next_request_id = 0
+        self.setup_queue = list(workload.setup_operations())
+        self.in_setup = False  # becomes True when the first arrival activates it
+        self.backlog: list[tuple[Any, int, int]] = []  # ops parked during setup
+
+
+class _InFlight:
+    __slots__ = ("session", "request", "operation", "arrival_ns", "sent_ns", "votes", "timer", "retries", "setup")
+
+    def __init__(self, session: GatewaySession, request: Request, operation: Any,
+                 arrival_ns: int, sent_ns: int, timer, setup: bool):
+        self.session = session
+        self.request = request
+        self.operation = operation
+        self.arrival_ns = arrival_ns
+        self.sent_ns = sent_ns
+        self.votes: dict[str, Any] = {}
+        self.timer = timer
+        self.retries = 0
+        self.setup = setup
+
+
+class GatewayStats:
+    """Counters of one gateway node (see :class:`SLOReport`)."""
+
+    def __init__(self) -> None:
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+        self.completed = 0
+        self.timeouts = 0
+        self.failed = 0
+        self.leased_reads = 0
+        self.latency = LatencyStats()
+
+
+class GatewayStage(Stage):
+    """Multiplexes ``sessions`` logical clients over one transport identity."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        thread: SimThread,
+        config: ReplicaGroupConfig,
+        gateway_config: GatewayConfig,
+        arrivals: ArrivalProcess,
+        workload_factory,
+        *,
+        name: str = "gateway",
+        seed: int = 0,
+        crypto: CryptoProvider | None = None,
+    ):
+        super().__init__(endpoint, thread, name)
+        self.config = config
+        self.gw = gateway_config
+        self.arrivals = arrivals
+        self.crypto = crypto or CryptoProvider()
+        self.timeout_ns = int(gateway_config.request_timeout_ms * MS)
+        self.lease_ns = int(gateway_config.read_lease_ms * MS)
+
+        self.sessions: list[GatewaySession] = []
+        for i in range(gateway_config.sessions):
+            client_id = f"{endpoint.node}:{name}/s{i}"
+            self.sessions.append(GatewaySession(i, client_id, workload_factory(client_id, i)))
+        self._by_client: dict[str, GatewaySession] = {s.client_id: s for s in self.sessions}
+        self._pick_rng = DeterministicRandom(derive_seed(seed, "gateway", endpoint.node, "pick"))
+
+        self.current_view = 0
+        self.stats = GatewayStats()
+        self.queue: deque[tuple[GatewaySession, Any, int, int]] = deque()
+        self.outstanding: dict[tuple[str, int], _InFlight] = {}
+        # Read-lease state: committed results by path, and lease freshness.
+        self._read_cache: dict[str, tuple[int, int]] = {}  # path -> (size, version)
+        self._lease_expires_ns = 0
+        self._stopped = False
+        self._arrival_timer = None
+
+    # ------------------------------------------------------------------
+    # Open-loop arrival engine
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._stopped = False
+        self._schedule_next_arrival()
+
+    def stop(self) -> None:
+        """Stop generating arrivals; outstanding requests still complete."""
+        self._stopped = True
+        if self._arrival_timer is not None:
+            self.cancel_timer(self._arrival_timer)
+            self._arrival_timer = None
+
+    @property
+    def completed(self) -> int:
+        return self.stats.completed
+
+    def _schedule_next_arrival(self) -> None:
+        if self._stopped:
+            return
+        gap = self.arrivals.next_gap_ns(self.now)
+        self._arrival_timer = self.set_timer(gap, self._on_arrival)
+
+    def _on_arrival(self) -> None:
+        self._arrival_timer = None
+        if self._stopped:
+            return
+        self.stats.offered += 1
+        session = self.sessions[self._pick_rng.randint(0, len(self.sessions) - 1)]
+        operation, payload = session.workload.next_operation(session.next_request_id)
+        now = self.now
+
+        if self._try_leased_read(session, operation, now):
+            self.stats.admitted += 1
+        elif session.setup_queue or session.in_setup:
+            # session still creating its subtree: park the op, run setup
+            self.stats.admitted += 1
+            session.backlog.append((operation, payload, now))
+            self._advance_setup(session)
+        elif len(self.queue) >= self.gw.queue_capacity:
+            self.stats.shed += 1
+            self.trace("gateway-shed", (session.client_id, operation))
+        else:
+            self.stats.admitted += 1
+            self.queue.append((session, operation, payload, now))
+            self._pump()
+        self._schedule_next_arrival()
+
+    # ------------------------------------------------------------------
+    # Admission queue -> in-flight window
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Move queued operations into the in-flight window, coalescing
+        same-target requests into one burst per pump."""
+        bursts: dict[str, list[Request]] = {}
+        while self.queue and len(self.outstanding) < self.gw.max_outstanding:
+            session, operation, payload, arrival_ns = self.queue.popleft()
+            request = self._prepare(session, operation, payload, arrival_ns, setup=False)
+            target = self.config.proposer_replica_for_client(session.client_id, self.current_view)
+            bursts.setdefault(target, []).append(request)
+        for target, requests in bursts.items():
+            if len(requests) == 1:
+                self.send((target, "handler"), requests[0])
+            else:
+                self.send((target, "handler"), RequestBurst(tuple(requests)))
+
+    def _prepare(self, session: GatewaySession, operation: Any, payload: int,
+                 arrival_ns: int, setup: bool) -> Request:
+        request_id = session.next_request_id
+        session.next_request_id += 1
+        bare = Request(session.client_id, request_id, operation, payload)
+        mac = self.crypto.compute_mac(b"client-session", bare.digestible(), size_hint=32)
+        request = Request(session.client_id, request_id, operation, payload, mac)
+        key = (session.client_id, request_id)
+        timer = self.set_timer(self.timeout_ns, self._on_timeout, key)
+        self.outstanding[key] = _InFlight(
+            session, request, operation, arrival_ns, self.now, timer, setup
+        )
+        self.trace("client-invoke", (session.client_id, request_id, operation))
+        return request
+
+    def _issue_direct(self, session: GatewaySession, operation: Any, payload: int,
+                      arrival_ns: int, setup: bool) -> None:
+        request = self._prepare(session, operation, payload, arrival_ns, setup)
+        target = self.config.proposer_replica_for_client(session.client_id, self.current_view)
+        self.send((target, "handler"), request)
+
+    def _advance_setup(self, session: GatewaySession) -> None:
+        if session.in_setup or not session.setup_queue:
+            return
+        session.in_setup = True
+        operation, payload = session.setup_queue.pop(0)
+        self._issue_direct(session, operation, payload, self.now, setup=True)
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+    def on_message(self, src: Address, message: Any) -> None:
+        if not isinstance(message, Reply):
+            return
+        key = (message.client_id, message.request_id)
+        pending = self.outstanding.get(key)
+        if pending is None:
+            return
+        self.crypto.compute_mac(b"client-session", message.digestible(), size_hint=32)
+        if message.view > self.current_view:
+            self.current_view = message.view
+        pending.votes[message.replica_id] = message.match_key
+        matching = sum(1 for vote in pending.votes.values() if vote == message.match_key)
+        if matching >= self.config.f + 1:
+            self._complete(key, pending, message.result)
+
+    def _complete(self, key: tuple[str, int], pending: _InFlight, result: Any) -> None:
+        del self.outstanding[key]
+        self.cancel_timer(pending.timer)
+        now = self.now
+        self._update_read_cache(pending.operation, result, now)
+        self.trace("client-complete", (key[0], key[1], pending.operation, result))
+        session = pending.session
+        if pending.setup:
+            # control-plane op: advance the session's setup sequence
+            session.in_setup = False
+            if session.setup_queue:
+                self._advance_setup(session)
+            else:
+                self._drain_backlog(session)
+        else:
+            self.stats.completed += 1
+            self.stats.latency.record(now - pending.arrival_ns)
+        self._pump()
+
+    def _drain_backlog(self, session: GatewaySession) -> None:
+        backlog, session.backlog = session.backlog, []
+        for operation, payload, arrival_ns in backlog:
+            if len(self.queue) >= self.gw.queue_capacity:
+                self.stats.admitted -= 1
+                self.stats.shed += 1
+                continue
+            self.queue.append((session, operation, payload, arrival_ns))
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Timeouts
+    # ------------------------------------------------------------------
+    def _on_timeout(self, key: tuple[str, int]) -> None:
+        pending = self.outstanding.get(key)
+        if pending is None:
+            return
+        if pending.retries >= self.gw.max_retries and not pending.setup:
+            # give up: free the window slot so fresh traffic can flow
+            del self.outstanding[key]
+            self.stats.failed += 1
+            self.trace("gateway-failed", key)
+            self._pump()
+            return
+        pending.retries += 1
+        self.stats.timeouts += 1
+        for replica_id in self.config.replica_ids:
+            self.send((replica_id, "handler"), pending.request)
+        pending.timer = self.set_timer(self.timeout_ns, self._on_timeout, key)
+
+    # ------------------------------------------------------------------
+    # Read-lease fast path
+    # ------------------------------------------------------------------
+    def _try_leased_read(self, session: GatewaySession, operation: Any, now: int) -> bool:
+        if self.lease_ns <= 0 or not _is_get(operation):
+            return False
+        if now >= self._lease_expires_ns:
+            return False
+        cached = self._read_cache.get(operation[1])
+        if cached is None:
+            return False
+        size, version = cached
+        self.stats.leased_reads += 1
+        self.stats.completed += 1
+        self.stats.latency.record(max(1, self.local_send_cost_ns))
+        self.trace("gateway-local-read", (session.client_id, operation[1], size, version))
+        return True
+
+    def _update_read_cache(self, operation: Any, result: Any, now: int) -> None:
+        if self.lease_ns <= 0:
+            return
+        # every committed completion proves the group is live: renew the lease
+        self._lease_expires_ns = now + self.lease_ns
+        if not isinstance(operation, tuple) or not operation:
+            return
+        if not (isinstance(result, tuple) and result and result[0] == "ok"):
+            return
+        action = operation[0]
+        if action == "create" and len(operation) == 3:
+            self._read_cache[operation[1]] = (int(operation[2]), 0)
+        elif action == "set" and len(operation) == 3:
+            self._read_cache[operation[1]] = (int(operation[2]), int(result[1]))
+        elif action == "get" and len(operation) == 2 and len(result) >= 3:
+            self._read_cache[operation[1]] = (int(result[1]), int(result[2]))
+        elif action == "delete" and len(operation) == 2:
+            self._read_cache.pop(operation[1], None)
+
+    # ------------------------------------------------------------------
+    def slo_report(self, elapsed_s: float) -> SLOReport:
+        report = SLOReport(elapsed_s=elapsed_s, sessions=len(self.sessions))
+        stats = self.stats
+        report.offered = stats.offered
+        report.admitted = stats.admitted
+        report.shed = stats.shed
+        report.completed = stats.completed
+        report.timeouts = stats.timeouts
+        report.failed = stats.failed
+        report.leased_reads = stats.leased_reads
+        report.latency.merge(stats.latency)
+        return report
+
+
+def _is_get(operation: Any) -> bool:
+    return (
+        isinstance(operation, tuple)
+        and len(operation) == 2
+        and operation[0] == "get"
+        and isinstance(operation[1], str)
+    )

@@ -1,0 +1,132 @@
+"""Run a gateway-fronted deployment and produce an SLO report.
+
+The two entry points mirror the benchmark/live split used everywhere
+else in the repo:
+
+* :func:`run_gateway_sim` — virtual time, deterministic for a given
+  ``spec.seed`` (arrivals, session picks, and workload streams all fork
+  from it), so recorded SLO numbers reproduce bit-for-bit;
+* :func:`run_gateway_live` — the same deployment over real localhost
+  sockets, wall-clock timed, with the gateway's connection pool sized
+  from :class:`~repro.gateway.config.GatewayConfig`.
+
+Both expect ``spec.gateway`` to be set and normally ``num_clients=0``:
+the gateway tier *is* the client side of the run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.loadgen.slo import SLOReport
+from repro.net.peer import PeerConfig
+from repro.runtime.deployment import DeploymentSpec, build_deployment
+from repro.sim.tracing import NULL_TRACER, Tracer
+
+MS = 1_000_000
+
+
+@dataclass
+class GatewayRunResult:
+    """Outcome of one open-loop gateway run."""
+
+    protocol: str
+    mode: str
+    slo: SLOReport
+    transport_sent: int = 0
+    state_digests: list[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "mode": self.mode,
+            "transport_sent": self.transport_sent,
+            **self.slo.to_json(),
+        }
+
+    def __str__(self) -> str:
+        return f"{self.protocol} ({self.mode}): {self.slo}"
+
+
+def _check_spec(spec: DeploymentSpec) -> None:
+    if spec.gateway is None:
+        raise ConfigurationError("gateway runs need spec.gateway (a GatewayConfig)")
+
+
+def run_gateway_sim(
+    spec: DeploymentSpec,
+    *,
+    duration_ms: int = 500,
+    tracer: Tracer = NULL_TRACER,
+) -> GatewayRunResult:
+    """Simulated open-loop run: deterministic under ``spec.seed``."""
+    _check_spec(spec)
+    deployment = build_deployment(spec, tracer=tracer)
+    deployment.start_clients()
+    deployment.sim.run(until=duration_ms * MS)
+    deployment.stop_clients()
+
+    slo = SLOReport()
+    for gateway in deployment.gateways:
+        slo.merge(gateway.slo_report(deployment.sim.now / 1e9))
+    return GatewayRunResult(
+        protocol=spec.protocol,
+        mode="sim",
+        slo=slo,
+        transport_sent=sum(
+            deployment.network.interface(node).bytes_sent for node in spec.gateway_nodes()
+        ),
+        state_digests=[
+            str(replica.service.state_digestible()) for replica in deployment.replicas
+        ],
+    )
+
+
+async def run_gateway_live_async(
+    spec: DeploymentSpec,
+    *,
+    duration_s: float = 5.0,
+    tracer: Tracer = NULL_TRACER,
+    host: str = "127.0.0.1",
+    base_port: int = 0,
+) -> GatewayRunResult:
+    """Live open-loop run: whole group + gateways in this process."""
+    # imported here: repro.runtime.live pulls in asyncio transport machinery
+    from repro.runtime.live import build_live_deployment
+
+    _check_spec(spec)
+    peer_config = PeerConfig(pool_size=spec.gateway.connection_pool)
+    deployment = build_live_deployment(
+        spec, tracer=tracer, host=host, base_port=base_port, peer_config=peer_config
+    )
+    started = time.monotonic()
+    try:
+        await deployment.start()
+        deployment.start_clients()
+        while time.monotonic() - started < duration_s:
+            await asyncio.sleep(0.02)
+        deployment.stop_clients()
+        await asyncio.sleep(0.05)  # let in-flight replies drain
+        elapsed = time.monotonic() - started
+    finally:
+        await deployment.stop()
+
+    slo = SLOReport()
+    for gateway in deployment.gateways:
+        slo.merge(gateway.slo_report(elapsed))
+    return GatewayRunResult(
+        protocol=spec.protocol,
+        mode="live",
+        slo=slo,
+        transport_sent=deployment.transport.messages_sent,
+        state_digests=[
+            str(replica.service.state_digestible()) for replica in deployment.replicas
+        ],
+    )
+
+
+def run_gateway_live(spec: DeploymentSpec, **kwargs) -> GatewayRunResult:
+    return asyncio.run(run_gateway_live_async(spec, **kwargs))

@@ -1,0 +1,30 @@
+"""Open-loop load generation: arrival processes and SLO reporting.
+
+Closed-loop clients (``repro.clients``) wait for a reply before issuing
+the next request, so offered load collapses whenever the system slows
+down — fine for saturation benchmarks, wrong for serving-style traffic.
+This package models the *open-loop* alternative: arrivals fire on their
+own schedule regardless of completions, queueing delay becomes part of
+the measured latency, and overload shows up as shed requests and
+latency-tail blowup instead of silently reduced throughput.
+"""
+
+from repro.loadgen.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.loadgen.slo import SLOReport
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "SLOReport",
+    "make_arrivals",
+]

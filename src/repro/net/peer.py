@@ -31,13 +31,23 @@ from repro.wire.framing import KIND_HELLO, KIND_PING, encode_frame, sender_tag
 
 @dataclass(frozen=True)
 class PeerConfig:
-    """Tuning knobs for outbound connections."""
+    """Tuning knobs for outbound connections.
+
+    ``pool_size`` > 1 opens several parallel connections per (src, dst)
+    pair and round-robins frames across them — a gateway node funneling
+    thousands of sessions through one peer link uses the pool to dodge
+    head-of-line blocking on a single TCP stream.  Frames may then be
+    delivered out of order between pool members; the protocols tolerate
+    reordering (it is one of the chaos-matrix faults), so the default of
+    1 is only kept for strict FIFO per pair.
+    """
 
     queue_capacity: int = 4096
     heartbeat_interval_s: float = 2.0
     backoff_base_s: float = 0.05
     backoff_max_s: float = 2.0
     connect_timeout_s: float = 5.0
+    pool_size: int = 1
 
 
 @dataclass

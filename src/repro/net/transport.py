@@ -54,7 +54,10 @@ class TcpTransport:
         self._receivers: dict[str, Callable[[str, Any], None]] = {}
         self._servers: dict[str, asyncio.base_events.Server] = {}
         self._inbound: dict[asyncio.StreamWriter, str] = {}
-        self._peers: dict[tuple[str, str], PeerConnection] = {}
+        # One pool of `peer_config.pool_size` connections per (src, dst)
+        # pair; frames round-robin across the pool members.
+        self._peers: dict[tuple[str, str], list[PeerConnection]] = {}
+        self._pool_rr: dict[tuple[str, str], int] = {}
         self._stats: dict[str, TransportStats] = {}
         self._started = False
         self.messages_sent = 0
@@ -175,9 +178,9 @@ class TcpTransport:
         see EOF.  Queued frames survive and are flushed after reconnect.
         """
         killed = 0
-        for (src, dst), peer in self._peers.items():
+        for (src, dst), pool in self._peers.items():
             if node in (src, dst):
-                killed += peer.kill()
+                killed += sum(peer.kill() for peer in pool)
         for writer, owner in list(self._inbound.items()):
             if owner == node:
                 writer.close()
@@ -205,8 +208,9 @@ class TcpTransport:
         self._started = True
 
     async def stop(self) -> None:
-        for peer in self._peers.values():
-            await peer.close()
+        for pool in self._peers.values():
+            for peer in pool:
+                await peer.close()
         self._peers.clear()
         for server in self._servers.values():
             server.close()
@@ -232,13 +236,20 @@ class TcpTransport:
     # ------------------------------------------------------------------
     def _peer_for(self, src: str, dst: str) -> PeerConnection:
         key = (src, dst)
-        peer = self._peers.get(key)
-        if peer is None:
-            peer = PeerConnection(
-                src, dst, resolve=lambda d=dst: self.directory[d], config=self.peer_config
-            )
-            self._peers[key] = peer
-        return peer
+        pool = self._peers.get(key)
+        if pool is None:
+            pool = [
+                PeerConnection(
+                    src, dst, resolve=lambda d=dst: self.directory[d], config=self.peer_config
+                )
+                for _ in range(self.peer_config.pool_size)
+            ]
+            self._peers[key] = pool
+        if len(pool) == 1:
+            return pool[0]
+        slot = self._pool_rr.get(key, 0)
+        self._pool_rr[key] = (slot + 1) % len(pool)
+        return pool[slot]
 
     async def _serve_connection(
         self, node: str, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

@@ -31,6 +31,10 @@ from repro.core.replica import build_group
 from repro.crypto.costs import JAVA
 from repro.crypto.provider import CryptoProvider
 from repro.errors import ConfigurationError
+from repro.gateway.config import GatewayConfig
+from repro.gateway.gateway import GatewayStage
+from repro.loadgen.arrivals import make_arrivals
+from repro.sim.rand import derive_seed
 from repro.runtime.calibration import DEFAULT_CALIBRATION, CalibrationProfile
 from repro.services.coordination import CoordinationService
 from repro.services.counter import CounterService
@@ -78,11 +82,20 @@ class DeploymentSpec:
     calibration: CalibrationProfile = field(default_factory=lambda: DEFAULT_CALIBRATION)
     nic_bandwidth: int = 4 * GIGABIT_PER_SECOND
     latency_ns: int = 35_000
+    # Optional serving front door: gateway nodes multiplexing open-loop
+    # session traffic (see repro.gateway).  Usually paired with
+    # ``num_clients=0`` — the gateways *are* the client tier.
+    gateway: GatewayConfig | None = None
 
     def make_workload(self, client_id: str, index: int) -> Workload:
         if self.workload_factory is not None:
             return self.workload_factory(client_id, index)
         return NullWorkload(self.payload_size)
+
+    def gateway_nodes(self) -> tuple[str, ...]:
+        if self.gateway is None:
+            return ()
+        return tuple(f"gw{i}" for i in range(self.gateway.gateways))
 
 
 @dataclass
@@ -96,13 +109,25 @@ class Deployment:
     replica_machines: list[Machine]
     clients: list[Client]
     client_machines: list[Machine]
+    gateways: list[GatewayStage] = field(default_factory=list)
+    gateway_machines: list[Machine] = field(default_factory=list)
 
     def start_clients(self) -> None:
         for client in self.clients:
             client.start()
+        for gateway in self.gateways:
+            gateway.start()
+
+    def stop_clients(self) -> None:
+        for client in self.clients:
+            client.stop()
+        for gateway in self.gateways:
+            gateway.stop()
 
     def total_completed(self) -> int:
-        return sum(client.completed for client in self.clients)
+        return sum(client.completed for client in self.clients) + sum(
+            gateway.completed for gateway in self.gateways
+        )
 
 
 def _replica_ids(protocol: str) -> tuple[str, ...]:
@@ -212,6 +237,47 @@ def build_deployment(spec: DeploymentSpec, tracer: Tracer = NULL_TRACER) -> Depl
         client.control_send_cost_ns = cal.client_send_cost_ns
         clients.append(client)
 
+    # ------------------------------------------------------------------
+    # Gateway tier (optional): open-loop session multiplexers
+    # ------------------------------------------------------------------
+    gateways: list[GatewayStage] = []
+    gateway_machines: list[Machine] = []
+    if spec.gateway is not None:
+        if spec.gateway.sticky_pillars:
+            for replica in replicas:
+                handler = getattr(replica, "handler", None)
+                if handler is not None:
+                    handler.sticky_client_pillars = True
+        for node in spec.gateway_nodes():
+            machine = Machine(sim, node, cores=spec.cores, ht_enabled=spec.ht_enabled)
+            gateway_machines.append(machine)
+            # a gateway fronts a whole client population: give it 4x the
+            # per-machine NIC of a single client host
+            endpoint = Endpoint(
+                sim, network, node, tracer,
+                egress_bandwidth=4 * spec.nic_bandwidth,
+                ingress_bandwidth=4 * spec.nic_bandwidth,
+            )
+            arrivals = make_arrivals(
+                spec.gateway.arrivals,
+                spec.gateway.rate_ops,
+                derive_seed(spec.seed, "gateway", node, "arrivals"),
+                **spec.gateway.arrival_params(),
+            )
+            gateway = GatewayStage(
+                endpoint,
+                machine.allocate_thread("gateway", base_cost_ns=cal.client_base_cost_ns),
+                config,
+                spec.gateway,
+                arrivals,
+                spec.make_workload,
+                seed=spec.seed,
+                crypto=CryptoProvider(JAVA, charge=sim.charge),
+            )
+            gateway.send_cost_ns = cal.client_send_cost_ns
+            gateway.control_send_cost_ns = cal.client_send_cost_ns
+            gateways.append(gateway)
+
     return Deployment(
         spec=spec,
         sim=sim,
@@ -220,4 +286,6 @@ def build_deployment(spec: DeploymentSpec, tracer: Tracer = NULL_TRACER) -> Depl
         replica_machines=machines,
         clients=clients,
         client_machines=client_machines,
+        gateways=gateways,
+        gateway_machines=gateway_machines,
     )

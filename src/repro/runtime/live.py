@@ -43,10 +43,13 @@ from repro.core.replica import HybsterReplica
 from repro.crypto.costs import JAVA
 from repro.crypto.provider import CryptoProvider
 from repro.errors import ConfigurationError
+from repro.gateway.gateway import GatewayStage
+from repro.loadgen.arrivals import make_arrivals
 from repro.net.peer import PeerConfig
 from repro.net.transport import TcpTransport
 from repro.runtime.deployment import SERVICES, DeploymentSpec, _num_pillars, _replica_ids
 from repro.sim.process import Endpoint
+from repro.sim.rand import derive_seed
 from repro.sim.tracing import NULL_TRACER, Tracer
 
 LIVE_PROTOCOLS = ("hybster-s", "hybster-x")
@@ -197,14 +200,17 @@ def live_directory(
 
     With ``base_port=0`` the OS assigns ports at bind time (single-process
     runs); with a fixed base port the layout is deterministic — replica i
-    at ``base_port + i``, client machine j at ``base_port + 64 + j`` — so
-    separate OS processes derive identical directories from the spec.
+    at ``base_port + i``, client machine j at ``base_port + 64 + j``,
+    gateway k at ``base_port + 96 + k`` — so separate OS processes derive
+    identical directories from the spec.
     """
     directory: dict[str, tuple[str, int]] = {}
     for index, rid in enumerate(_replica_ids(spec.protocol)):
         directory[rid] = (host, base_port + index if base_port else 0)
     for j in range(spec.client_machines):
         directory[f"clients{j}"] = (host, base_port + 64 + j if base_port else 0)
+    for k, node in enumerate(spec.gateway_nodes()):
+        directory[node] = (host, base_port + 96 + k if base_port else 0)
     return directory
 
 
@@ -220,6 +226,7 @@ class LiveDeployment:
     clients: list[Client]
     local_nodes: tuple[str, ...]
     tracer: Tracer = NULL_TRACER
+    gateways: list[GatewayStage] = field(default_factory=list)
 
     async def start(self) -> None:
         """Bind listen sockets and arm the replicas' protocol timers."""
@@ -230,10 +237,14 @@ class LiveDeployment:
     def start_clients(self) -> None:
         for client in self.clients:
             client.start()
+        for gateway in self.gateways:
+            gateway.start()
 
     def stop_clients(self) -> None:
         for client in self.clients:
             client.stop()
+        for gateway in self.gateways:
+            gateway.stop()
 
     async def stop(self) -> None:
         """Cancel every timer and close every socket this process owns."""
@@ -241,7 +252,9 @@ class LiveDeployment:
         await self.transport.stop()
 
     def total_completed(self) -> int:
-        return sum(client.completed for client in self.clients)
+        return sum(client.completed for client in self.clients) + sum(
+            gateway.completed for gateway in self.gateways
+        )
 
 
 def build_live_deployment(
@@ -275,8 +288,9 @@ def build_live_deployment(
 
     replica_ids = _replica_ids(spec.protocol)
     client_nodes = tuple(f"clients{j}" for j in range(spec.client_machines))
+    gateway_nodes = spec.gateway_nodes()
     if local_nodes is None:
-        local = tuple(replica_ids) + client_nodes
+        local = tuple(replica_ids) + client_nodes + gateway_nodes
     else:
         unknown = set(local_nodes) - set(directory)
         if unknown:
@@ -310,6 +324,8 @@ def build_live_deployment(
             tracer=tracer,
         )
         _wire_peer_addresses(replica, config)
+        if spec.gateway is not None and spec.gateway.sticky_pillars:
+            replica.handler.sticky_client_pillars = True
         replicas.append(replica)
 
     clients: list[Client] = []
@@ -335,6 +351,31 @@ def build_live_deployment(
                 )
             )
 
+    gateways: list[GatewayStage] = []
+    for node in gateway_nodes:
+        if node not in local:
+            continue
+        machine = LiveMachine(kernel, node)
+        endpoint = Endpoint(kernel, transport, node, tracer)  # type: ignore[arg-type]
+        arrivals = make_arrivals(
+            spec.gateway.arrivals,
+            spec.gateway.rate_ops,
+            derive_seed(spec.seed, "gateway", node, "arrivals"),
+            **spec.gateway.arrival_params(),
+        )
+        gateways.append(
+            GatewayStage(
+                endpoint,
+                machine.allocate_thread("gateway"),  # type: ignore[arg-type]
+                config,
+                spec.gateway,
+                arrivals,
+                spec.make_workload,
+                seed=spec.seed,
+                crypto=CryptoProvider(JAVA, charge=kernel.charge),
+            )
+        )
+
     return LiveDeployment(
         spec=spec,
         kernel=kernel,
@@ -344,6 +385,7 @@ def build_live_deployment(
         clients=clients,
         local_nodes=local,
         tracer=tracer,
+        gateways=gateways,
     )
 
 
@@ -394,6 +436,7 @@ class LiveRunResult:
             "elapsed_s": round(self.elapsed_s, 3),
             "throughput_ops": round(self.throughput_ops, 1),
             "mean_latency_ms": round(self.latency.mean_ms, 3) if self.latency.count else None,
+            "latency_ms": self.latency.percentiles_ms() if self.latency.count else None,
             "retries": self.retries,
             "transport_sent": self.transport_sent,
             "transport_dropped": self.transport_dropped,
@@ -404,7 +447,14 @@ class LiveRunResult:
         }
 
     def __str__(self) -> str:
-        latency = f"{self.latency.mean_ms:.3f} ms" if self.latency.count else "n/a"
+        if self.latency.count:
+            p = self.latency.percentiles_ms()
+            latency = (
+                f"{p['mean']:.3f} ms (p50 {p['p50']:.3f} / p99 {p['p99']:.3f} / "
+                f"p999 {p['p999']:.3f})"
+            )
+        else:
+            latency = "n/a"
         chaos = ""
         if self.chaos_dropped or self.chaos_delayed or self.chaos_injected:
             chaos = (
@@ -423,12 +473,15 @@ def _collect_result(deployment: LiveDeployment, elapsed_s: float) -> LiveRunResu
     latency = LatencyStats()
     for client in deployment.clients:
         latency.merge(client.stats)
+    for gateway in deployment.gateways:
+        latency.merge(gateway.stats.latency)
     return LiveRunResult(
         protocol=deployment.spec.protocol,
         completed=deployment.total_completed(),
         elapsed_s=elapsed_s,
         latency=latency,
-        retries=sum(client.retries for client in deployment.clients),
+        retries=sum(client.retries for client in deployment.clients)
+        + sum(gateway.stats.timeouts for gateway in deployment.gateways),
         replica_stats=[replica.stats() for replica in deployment.replicas],
         transport_sent=deployment.transport.messages_sent,
         transport_dropped=deployment.transport.messages_dropped,

@@ -38,13 +38,26 @@ class ScenarioResult:
     completed: int = 0
     elapsed_ms: float = 0.0
     mean_latency_ms: float | None = None
+    p50_ms: float | None = None
+    p99_ms: float | None = None
+    p999_ms: float | None = None
     retries: int = 0
+    shed: int = 0
+    shed_fraction: float | None = None
     chaos_dropped: int = 0
     chaos_delayed: int = 0
     chaos_injected: int = 0
     safety: SafetyReport = field(default_factory=SafetyReport)
     failures: list[str] = field(default_factory=list)
     error: str | None = None
+
+    def set_latency(self, latency: LatencyStats) -> None:
+        if not latency.count:
+            return
+        self.mean_latency_ms = latency.mean_ms
+        self.p50_ms = latency.percentile_ms(50)
+        self.p99_ms = latency.percentile_ms(99)
+        self.p999_ms = latency.percentile_ms(99.9)
 
     @property
     def passed(self) -> bool:
@@ -67,7 +80,14 @@ class ScenarioResult:
             "mean_latency_ms": (
                 round(self.mean_latency_ms, 3) if self.mean_latency_ms is not None else None
             ),
+            "p50_ms": round(self.p50_ms, 3) if self.p50_ms is not None else None,
+            "p99_ms": round(self.p99_ms, 3) if self.p99_ms is not None else None,
+            "p999_ms": round(self.p999_ms, 3) if self.p999_ms is not None else None,
             "retries": self.retries,
+            "shed": self.shed,
+            "shed_fraction": (
+                round(self.shed_fraction, 4) if self.shed_fraction is not None else None
+            ),
             "chaos": {
                 "dropped": self.chaos_dropped,
                 "delayed": self.chaos_delayed,
@@ -95,6 +115,10 @@ def run_scenario(
     try:
         if spec.mode == "sim":
             result = _run_sim(spec, seed_override, trace_out)
+        elif spec.mode == "live" and spec.processes:
+            from repro.scenarios.livenode import run_scenario_processes
+
+            result = asyncio.run(run_scenario_processes(spec, seed_override, trace_out))
         elif spec.mode == "live":
             result = asyncio.run(_run_live(spec, seed_override, trace_out))
         else:  # pragma: no cover - load_scenario validates modes
@@ -130,6 +154,8 @@ def _run_sim(
     latency = LatencyStats()
     for client in deployment.clients:
         latency.merge(client.stats)
+    for gateway in deployment.gateways:
+        latency.merge(gateway.stats.latency)
 
     result = ScenarioResult(
         name=spec.name,
@@ -137,12 +163,14 @@ def _run_sim(
         protocol=deployment_spec.protocol,
         completed=deployment.total_completed(),
         elapsed_ms=deployment.sim.now / MS,
-        mean_latency_ms=latency.mean_ms if latency.count else None,
-        retries=sum(client.retries for client in deployment.clients),
+        retries=sum(client.retries for client in deployment.clients)
+        + sum(gateway.stats.timeouts for gateway in deployment.gateways),
         chaos_dropped=deployment.network.messages_dropped,
         chaos_delayed=deployment.network.messages_delayed,
         chaos_injected=deployment.network.messages_injected,
     )
+    result.set_latency(latency)
+    _merge_gateway_stats(result, deployment.gateways)
     _finish(result, spec, tracer, trace_out)
     return result
 
@@ -185,6 +213,8 @@ async def _run_live(
     latency = LatencyStats()
     for client in deployment.clients:
         latency.merge(client.stats)
+    for gateway in deployment.gateways:
+        latency.merge(gateway.stats.latency)
 
     result = ScenarioResult(
         name=spec.name,
@@ -192,12 +222,14 @@ async def _run_live(
         protocol=deployment_spec.protocol,
         completed=deployment.total_completed(),
         elapsed_ms=(time.monotonic() - started) * 1_000.0,
-        mean_latency_ms=latency.mean_ms if latency.count else None,
-        retries=sum(client.retries for client in deployment.clients),
+        retries=sum(client.retries for client in deployment.clients)
+        + sum(gateway.stats.timeouts for gateway in deployment.gateways),
         chaos_dropped=deployment.transport.chaos_dropped,
         chaos_delayed=deployment.transport.chaos_delayed,
         chaos_injected=deployment.transport.chaos_injected,
     )
+    result.set_latency(latency)
+    _merge_gateway_stats(result, deployment.gateways)
     _finish(result, spec, tracer, trace_out)
     return result
 
@@ -224,6 +256,24 @@ def _schedule_connection_kills(deployment, chaos_filters: list[Any]) -> None:
 # ----------------------------------------------------------------------
 # Shared epilogue
 # ----------------------------------------------------------------------
+def _merge_gateway_stats(result: ScenarioResult, gateways) -> None:
+    _merge_gateway_counts(
+        result,
+        offered=sum(gateway.stats.offered for gateway in gateways),
+        shed=sum(gateway.stats.shed for gateway in gateways),
+        present=bool(gateways),
+    )
+
+
+def _merge_gateway_counts(
+    result: ScenarioResult, *, offered: int, shed: int, present: bool
+) -> None:
+    if not present:
+        return
+    result.shed = shed
+    result.shed_fraction = shed / offered if offered else 0.0
+
+
 def _disable_trinx_verification(replicas) -> None:
     for replica in replicas:
         for pillar in getattr(replica, "pillars", ()):
@@ -262,4 +312,21 @@ def _evaluate(result: ScenarioResult, spec: ScenarioSpec) -> None:
         result.failures.append(
             f"mean latency {result.mean_latency_ms:.3f} ms exceeds "
             f"{criteria.max_mean_latency_ms} ms"
+        )
+    if (
+        criteria.max_p99_ms is not None
+        and result.p99_ms is not None
+        and result.p99_ms > criteria.max_p99_ms
+    ):
+        result.failures.append(
+            f"p99 latency {result.p99_ms:.3f} ms exceeds {criteria.max_p99_ms} ms"
+        )
+    if (
+        criteria.max_shed_fraction is not None
+        and result.shed_fraction is not None
+        and result.shed_fraction > criteria.max_shed_fraction
+    ):
+        result.failures.append(
+            f"shed fraction {result.shed_fraction:.4f} exceeds "
+            f"{criteria.max_shed_fraction}"
         )

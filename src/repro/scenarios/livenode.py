@@ -1,0 +1,291 @@
+"""Process-per-node scenario execution (ROADMAP item 3).
+
+The in-process live path hosts the whole group on one event loop, which
+keeps things simple but means a Python-level stall in one replica stalls
+them all.  This module runs a live scenario with **one OS process per
+node**: the parent spawns a child per replica, client machine, and
+gateway node, each child builds only its share of the deployment
+(``local_nodes=[node]``) from the *same scenario file and seed*, and the
+group talks over real localhost TCP.
+
+Chaos still works: every child installs the scenario's full filter chain
+on its own transport.  Filters decide on the *send* path and every
+message is sent by exactly one process, so the *set* of chaos decisions
+partitions cleanly across processes — each filter instance only ever
+sees the traffic its process originates.  (Random filters draw from
+per-process streams, so a multi-process run is not bit-identical to the
+in-process one; the statistical fault load is the same.)
+
+Safety checking is unchanged: each child writes its trace shard, the
+parent merges the shards — the checker orders records by content, not
+wall clock — and runs the same :func:`~repro.scenarios.safety.
+check_safety` over the merged trace.  Latency percentiles survive the
+process boundary because children ship their full
+:class:`~repro.clients.stats.LatencyStats` (reservoir included) as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import socket
+import sys
+import tempfile
+import time
+from typing import Any
+
+from repro.clients.stats import LatencyStats
+from repro.errors import ConfigurationError
+from repro.sim.tracing import NULL_TRACER, Tracer
+
+# Scan for a free, contiguous port block starting here; stride past the
+# whole node layout (gateways sit at base + 96 + k) between candidates.
+PORT_SCAN_START = 47200
+PORT_SCAN_STRIDE = 128
+PORT_SCAN_END = 60000
+
+
+def _node_ports(spec) -> list[int]:
+    """Port *offsets* the live directory will use for ``spec``'s nodes."""
+    from repro.runtime.deployment import _replica_ids
+
+    offsets = list(range(len(_replica_ids(spec.protocol))))
+    offsets += [64 + j for j in range(spec.client_machines)]
+    offsets += [96 + k for k in range(len(spec.gateway_nodes()))]
+    return offsets
+
+
+def find_base_port(spec) -> int:
+    """First base port whose whole node layout binds cleanly right now."""
+    offsets = _node_ports(spec)
+    for base in range(PORT_SCAN_START, PORT_SCAN_END, PORT_SCAN_STRIDE):
+        if all(_bindable(base + off) for off in offsets):
+            return base
+    raise ConfigurationError("no free port block found for a process-per-node run")
+
+
+def _bindable(port: int) -> bool:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind(("127.0.0.1", port))
+        except OSError:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Child: run one node of the scenario
+# ----------------------------------------------------------------------
+async def _child_amain(args: argparse.Namespace) -> int:
+    from repro.net.peer import PeerConfig
+    from repro.runtime.live import build_live_deployment
+    from repro.scenarios.engine import TRACE_CATEGORIES, _disable_trinx_verification, _schedule_connection_kills
+    from repro.scenarios.spec import load_scenario
+
+    spec = load_scenario(args.spec)
+    seed = args.seed if args.seed is not None else spec.seed
+    deployment_spec = spec.deployment_spec(seed)
+    tracer = Tracer(enabled=True, categories=TRACE_CATEGORIES) if args.trace_out else NULL_TRACER
+    pool = deployment_spec.gateway.connection_pool if deployment_spec.gateway else 1
+    deployment = build_live_deployment(
+        deployment_spec,
+        tracer=tracer,
+        host=args.host,
+        base_port=args.base_port,
+        local_nodes=[args.node],
+        peer_config=PeerConfig(pool_size=pool),
+    )
+    chaos_filters = spec.build_filters(seed)
+    for chaos_filter in chaos_filters:
+        deployment.transport.add_filter(chaos_filter)
+    if not spec.trinx_verification:
+        _disable_trinx_verification(deployment.replicas)
+
+    stop_event = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(sig, stop_event.set)
+
+    started = time.monotonic()
+    deadline = started + spec.duration_ms / 1_000.0
+    try:
+        await deployment.start()
+        _schedule_connection_kills(deployment, chaos_filters)
+        deployment.start_clients()
+        workload_node = bool(deployment.clients or deployment.gateways)
+        while not stop_event.is_set():
+            now = time.monotonic()
+            if workload_node and now >= deadline:
+                break
+            if not workload_node and now >= deadline + 20.0:
+                break  # replica safety net if the parent never signals
+            if (
+                deployment.clients
+                and spec.requests
+                and deployment.total_completed() >= spec.requests
+            ):
+                break
+            await asyncio.sleep(0.05)
+        deployment.stop_clients()
+        await asyncio.sleep(0.05)  # let in-flight replies drain
+    finally:
+        await deployment.stop()
+
+    if args.trace_out:
+        tracer.write_jsonl(f"{args.trace_out}.{args.node}.jsonl")
+    latency = LatencyStats()
+    for client in deployment.clients:
+        latency.merge(client.stats)
+    for gateway in deployment.gateways:
+        latency.merge(gateway.stats.latency)
+    print(json.dumps({
+        "node": args.node,
+        "completed": deployment.total_completed(),
+        "retries": sum(client.retries for client in deployment.clients)
+        + sum(gateway.stats.timeouts for gateway in deployment.gateways),
+        "offered": sum(gateway.stats.offered for gateway in deployment.gateways),
+        "shed": sum(gateway.stats.shed for gateway in deployment.gateways),
+        "latency_stats": latency.to_json(),
+        "chaos_dropped": deployment.transport.chaos_dropped,
+        "chaos_delayed": deployment.transport.chaos_delayed,
+        "chaos_injected": deployment.transport.chaos_injected,
+        "state_digests": [
+            str(replica.service.state_digestible()) for replica in deployment.replicas
+        ],
+    }))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.scenarios.livenode",
+        description="Run one node of a live scenario in this OS process",
+    )
+    parser.add_argument("--spec", required=True, help="scenario TOML file")
+    parser.add_argument("--node", required=True)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--base-port", type=int, required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--trace-out", default="")
+    args = parser.parse_args(argv)
+    return asyncio.run(_child_amain(args))
+
+
+# ----------------------------------------------------------------------
+# Parent: orchestrate the whole group
+# ----------------------------------------------------------------------
+async def run_scenario_processes(
+    spec, seed_override: int | None = None, trace_out: str | None = None
+):
+    """Run a live scenario with one OS process per node.
+
+    Returns the same :class:`~repro.scenarios.engine.ScenarioResult` as
+    the in-process paths, evaluated against the same pass criteria.
+    """
+    from repro.runtime.deployment import _replica_ids
+    from repro.scenarios.engine import ScenarioResult, _evaluate, _merge_gateway_counts
+    from repro.scenarios.safety import check_safety
+
+    if not spec.path or not os.path.exists(spec.path):
+        raise ConfigurationError(
+            "process-per-node scenarios need the scenario file on disk "
+            "(spec.path is how child processes rebuild the run)"
+        )
+    deployment_spec = spec.deployment_spec(seed_override)
+    base_port = find_base_port(deployment_spec)
+    replica_nodes = list(_replica_ids(deployment_spec.protocol))
+    workload_nodes = [
+        f"clients{j}"
+        for j in range(deployment_spec.client_machines)
+        if deployment_spec.num_clients
+    ] + list(deployment_spec.gateway_nodes())
+    nodes = replica_nodes + workload_nodes
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-scenario-")
+    trace_prefix = os.path.join(tmpdir, "trace")
+    seed = spec.seed if seed_override is None else seed_override
+    children: dict[str, asyncio.subprocess.Process] = {}
+    reports: dict[str, dict[str, Any]] = {}
+    started = time.monotonic()
+    try:
+        for node in nodes:
+            children[node] = await asyncio.create_subprocess_exec(
+                sys.executable, "-m", "repro.scenarios.livenode",
+                "--spec", spec.path, "--node", node,
+                "--seed", str(seed), "--base-port", str(base_port),
+                "--trace-out", trace_prefix,
+                stdout=asyncio.subprocess.PIPE,
+            )
+        # workload children stop themselves at the duration / request
+        # target; replicas serve until we signal them below
+        for node in workload_nodes:
+            raw, _ = await asyncio.wait_for(
+                children[node].communicate(),
+                timeout=spec.duration_ms / 1_000.0 + 15,
+            )
+            reports[node] = json.loads(raw.decode() or "{}")
+        for node in replica_nodes:
+            if children[node].returncode is None:
+                children[node].terminate()
+        for node in replica_nodes:
+            raw, _ = await asyncio.wait_for(children[node].communicate(), timeout=10)
+            reports[node] = json.loads(raw.decode() or "{}")
+    finally:
+        for child in children.values():
+            if child.returncode is None:
+                child.terminate()
+        for child in children.values():
+            if child.returncode is None:
+                try:
+                    await asyncio.wait_for(child.wait(), timeout=5)
+                except asyncio.TimeoutError:
+                    child.kill()
+    elapsed_ms = (time.monotonic() - started) * 1_000.0
+
+    latency = LatencyStats()
+    for report in reports.values():
+        if report.get("latency_stats"):
+            latency.merge(LatencyStats.from_json(report["latency_stats"]))
+    result = ScenarioResult(
+        name=spec.name,
+        mode="live",
+        protocol=deployment_spec.protocol,
+        completed=sum(r.get("completed", 0) for r in reports.values()),
+        elapsed_ms=elapsed_ms,
+        retries=sum(r.get("retries", 0) for r in reports.values()),
+        chaos_dropped=sum(r.get("chaos_dropped", 0) for r in reports.values()),
+        chaos_delayed=sum(r.get("chaos_delayed", 0) for r in reports.values()),
+        chaos_injected=sum(r.get("chaos_injected", 0) for r in reports.values()),
+    )
+    result.set_latency(latency)
+    _merge_gateway_counts(
+        result,
+        offered=sum(r.get("offered", 0) for r in reports.values()),
+        shed=sum(r.get("shed", 0) for r in reports.values()),
+        present=bool(deployment_spec.gateway),
+    )
+
+    shards = []
+    for node in nodes:
+        shard = f"{trace_prefix}.{node}.jsonl"
+        if os.path.exists(shard):
+            shards.append(Tracer.load_jsonl(shard))
+    merged = Tracer.merge(*shards) if shards else Tracer(enabled=True)
+    if trace_out:
+        merged.write_jsonl(trace_out)
+    result.safety = check_safety(merged)
+    digests = {d for r in reports.values() for d in r.get("state_digests", [])}
+    if len(digests) > 1:
+        result.failures.append(f"replica states diverged: {sorted(digests)}")
+    _evaluate(result, spec)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - child-process entry
+    sys.exit(main())

@@ -30,6 +30,14 @@ not overwritten by a put that certainly linearized in between, and not
 the initial value if a put certainly completed first.  The KV workload
 writes unique values per key (request indices under per-client keys),
 which makes the interval check exact.
+
+Coordination-service reads get the same treatment: ``create``/``set``
+are the writes (the written data size sits at ``operation[2]``, exactly
+where a put's value lives), a ``get`` returning ``("ok", size,
+version)`` must match some such write that could linearize before it,
+and an ``("error", ...)`` result plays the initial-value role.  Paths
+that are ever deleted are skipped — the workloads never delete, so this
+only forgoes coverage on traces produced outside them.
 """
 
 from __future__ import annotations
@@ -200,9 +208,14 @@ def _check_linearizability(tracer: Tracer, report: SafetyReport) -> None:
             op.result = detail[3]
             completed.append(op)
 
-    # Partition by key: writes (put) and reads (get), pending puts included
-    # as writes with an open-ended interval (they may have taken effect).
+    # Partition by key: writes (put, or create/set for the coordination
+    # service) and reads (get), pending writes included as writes with an
+    # open-ended interval (they may have taken effect).  Both write
+    # families carry the written value at operation[2], so one interval
+    # check serves both services.
     writes: dict[str, list[_Op]] = {}
+    coord_writes: dict[str, list[_Op]] = {}
+    deleted_paths: set[str] = set()
     reads: dict[str, list[_Op]] = {}
     for op in invokes.values():
         if not op.operation:
@@ -210,29 +223,42 @@ def _check_linearizability(tracer: Tracer, report: SafetyReport) -> None:
         verb = op.operation[0]
         if verb == "put" and len(op.operation) >= 3:
             writes.setdefault(str(op.operation[1]), []).append(op)
+        elif verb in ("create", "set") and len(op.operation) >= 3:
+            coord_writes.setdefault(str(op.operation[1]), []).append(op)
+        elif verb == "delete" and len(op.operation) >= 2:
+            deleted_paths.add(str(op.operation[1]))
         elif verb == "get" and len(op.operation) >= 2 and op.complete_ns is not _INFINITY:
             reads.setdefault(str(op.operation[1]), []).append(op)
 
     for key, key_reads in sorted(reads.items()):
-        key_writes = writes.get(key, [])
         for read in sorted(key_reads, key=lambda op: op.invoke_ns):
+            result = read.result
+            if isinstance(result, tuple) and result and result[0] in ("ok", "error"):
+                # coordination-service read: compare the returned data
+                # size against the create/set history of the path
+                if key in deleted_paths:
+                    continue
+                value = result[1] if result[0] == "ok" and len(result) >= 3 else None
+                key_writes = coord_writes.get(key, [])
+            else:
+                value = result
+                key_writes = writes.get(key, [])
             report.reads_checked += 1
-            violation = _explain_read(key, read, key_writes)
+            violation = _explain_read(key, read, key_writes, value)
             if violation is not None:
                 report.violations.append(SafetyViolation("linearizability", violation))
 
 
-def _explain_read(key: str, read: _Op, writes: list[_Op]) -> str | None:
+def _explain_read(key: str, read: _Op, writes: list[_Op], value: Any) -> str | None:
     """Return a violation description for ``read``, or None if legal."""
-    value = read.result
     if value is None:
         # the initial value: illegal once any put certainly completed first
         for write in writes:
             if write.complete_ns < read.invoke_ns:
                 return (
                     f"get({key}) by {read.client}#{read.request_id} returned the "
-                    f"initial value, but put(...{write.operation[2]!r}) by "
-                    f"{write.client}#{write.request_id} completed before it started"
+                    f"initial value, but {write.operation[0]}(...{write.operation[2]!r}) "
+                    f"by {write.client}#{write.request_id} completed before it started"
                 )
         return None
 
@@ -240,7 +266,7 @@ def _explain_read(key: str, read: _Op, writes: list[_Op]) -> str | None:
     if not candidates:
         return (
             f"get({key}) by {read.client}#{read.request_id} returned {value!r}, "
-            f"which no put ever wrote (phantom value)"
+            f"which no write ever produced (phantom value)"
         )
     for write in candidates:
         if write.invoke_ns >= read.complete_ns:

@@ -19,14 +19,28 @@ the fault matrix.  The format (all sections except ``name`` optional):
     checkpoint_interval = 32
 
     [workload]
-    kind = "kv"                   # null | kv | coordination
+    kind = "kv"                   # null | kv | coordination | gateway
     keys = 8
+
+    # kind = "gateway" replaces the closed-loop clients with an open-loop
+    # gateway tier: the section's other keys are GatewayConfig fields
+    # (sessions, arrivals, rate_ops, queue_capacity, read_lease_ms, ...)
+    # and [workload.inner] names the per-session workload:
+    #
+    #     [workload]
+    #     kind = "gateway"
+    #     sessions = 64
+    #     arrivals = "bursty"
+    #     rate_ops = 2000.0
+    #     [workload.inner]
+    #     kind = "kv"
 
     [run]
     duration_ms = 400             # sim: virtual time; live: wall-clock cap
     requests = 200                # live: stop early once this many completed
     seed = 42
     trinx_verification = true     # false: disable certificate checks (!!)
+    processes = false             # live: one OS process per node
 
     [[faults]]
     kind = "loss"                 # loss | partition | delay | reorder
@@ -38,6 +52,8 @@ the fault matrix.  The format (all sections except ``name`` optional):
     min_completed = 50
     safety = true                 # the safety checker must pass
     expect_safety_violation = false   # demonstration scenarios flip this
+    max_p99_ms = 50.0             # optional latency-SLO bounds
+    max_shed_fraction = 0.2       # gateway runs: cap on shed arrivals
 
 Fault times are milliseconds on the run's clock (simulated time in sim
 mode, wall-clock since transport start in live mode).  Every random
@@ -68,6 +84,7 @@ from repro.chaos import (
     Reorder,
 )
 from repro.errors import ConfigurationError
+from repro.gateway.config import GatewayConfig
 from repro.runtime.deployment import PROTOCOLS, SERVICES, DeploymentSpec
 from repro.sim.rand import derive_seed
 
@@ -75,7 +92,15 @@ MS = 1_000_000  # ns per millisecond
 
 MODES = ("sim", "live")
 FAULT_KINDS = ("loss", "partition", "delay", "reorder", "crash", "equivocate")
-WORKLOAD_KINDS = ("null", "kv", "coordination")
+WORKLOAD_KINDS = ("null", "kv", "coordination", "gateway")
+
+# [workload] keys consumed by GatewayConfig when kind = "gateway"
+_GATEWAY_KEYS = (
+    "gateways", "sessions", "arrivals", "rate_ops", "on_ms", "off_ms",
+    "period_ms", "peak_factor", "queue_capacity", "max_outstanding",
+    "request_timeout_ms", "max_retries", "read_lease_ms", "sticky_pillars",
+    "connection_pool",
+)
 
 _DEPLOYMENT_KEYS = (
     "protocol", "cores", "ht_enabled", "service", "batch_size", "rotation",
@@ -105,6 +130,8 @@ class PassCriteria:
     safety: bool = True
     expect_safety_violation: bool = False
     max_mean_latency_ms: float | None = None
+    max_p99_ms: float | None = None
+    max_shed_fraction: float | None = None
 
 
 @dataclass
@@ -121,16 +148,28 @@ class ScenarioSpec:
     requests: int = 100
     seed: int = 0
     trinx_verification: bool = True
+    processes: bool = False
     faults: list[FaultSpec] = field(default_factory=list)
     criteria: PassCriteria = field(default_factory=PassCriteria)
     path: str = ""
 
     # ------------------------------------------------------------------
     def deployment_spec(self, seed_override: int | None = None) -> DeploymentSpec:
-        """Materialize the DeploymentSpec (with workload factory wired)."""
+        """Materialize the DeploymentSpec (with workload factory wired).
+
+        A ``kind = "gateway"`` workload section turns the client tier into
+        an open-loop gateway tier: its own keys become the
+        :class:`GatewayConfig`, its ``[workload.inner]`` table is the
+        per-session workload, and direct clients are disabled.
+        """
         seed = self.seed if seed_override is None else seed_override
         spec = DeploymentSpec(seed=seed, **self.deployment)
-        spec.workload_factory = _workload_factory(self.workload, spec, seed)
+        workload = self.workload
+        if workload.get("kind") == "gateway":
+            spec.gateway = _gateway_config(workload)
+            spec.num_clients = 0
+            workload = dict(workload.get("inner", {}))
+        spec.workload_factory = _workload_factory(workload, spec, seed)
         return spec
 
     def build_filters(self, seed_override: int | None = None) -> list[Any]:
@@ -237,6 +276,16 @@ def _pairs(params: dict) -> set[tuple[str, str]] | None:
 # ----------------------------------------------------------------------
 # Workload construction
 # ----------------------------------------------------------------------
+def _gateway_config(workload: dict) -> GatewayConfig:
+    params = {k: v for k, v in workload.items() if k not in ("kind", "inner")}
+    unknown = set(params) - set(_GATEWAY_KEYS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown gateway workload keys {sorted(unknown)}; expected {_GATEWAY_KEYS}"
+        )
+    return GatewayConfig(**params)
+
+
 def _workload_factory(workload: dict, spec: DeploymentSpec, seed: int):
     from repro.clients.workload import (
         CoordinationWorkload,
@@ -311,12 +360,21 @@ def load_scenario(path: str) -> ScenarioSpec:
             )
         faults.append(FaultSpec(kind, entry))
 
+    workload = dict(raw.get("workload", {}))
+    workload_kind = workload.get("kind", "null")
+    if workload_kind not in WORKLOAD_KINDS:
+        raise ConfigurationError(
+            f"{path}: workload kind must be one of {WORKLOAD_KINDS}, got {workload_kind!r}"
+        )
+
     pass_section = raw.get("pass", {})
     criteria = PassCriteria(
         min_completed=int(pass_section.get("min_completed", 1)),
         safety=bool(pass_section.get("safety", True)),
         expect_safety_violation=bool(pass_section.get("expect_safety_violation", False)),
         max_mean_latency_ms=pass_section.get("max_mean_latency_ms"),
+        max_p99_ms=pass_section.get("max_p99_ms"),
+        max_shed_fraction=pass_section.get("max_shed_fraction"),
     )
 
     return ScenarioSpec(
@@ -325,11 +383,12 @@ def load_scenario(path: str) -> ScenarioSpec:
         mode=mode,
         tags=tuple(raw.get("tags", ())),
         deployment=deployment,
-        workload=dict(raw.get("workload", {})),
+        workload=workload,
         duration_ms=int(run.get("duration_ms", 400)),
         requests=int(run.get("requests", 100)),
         seed=int(run.get("seed", 0)),
         trinx_verification=bool(run.get("trinx_verification", True)),
+        processes=bool(run.get("processes", False)),
         faults=faults,
         criteria=criteria,
         path=path,

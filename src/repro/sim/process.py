@@ -46,15 +46,34 @@ class Envelope:
 
 
 class Endpoint:
-    """A machine's network identity; dispatches envelopes to its stages."""
+    """A machine's network identity; dispatches envelopes to its stages.
 
-    def __init__(self, sim: Simulator, network: Transport, node: str, tracer: Tracer = NULL_TRACER):
+    ``egress_bandwidth``/``ingress_bandwidth`` size the node's simulated
+    NIC (gateway nodes front whole client populations and get fatter
+    pipes than a single client machine); the live transport accepts and
+    ignores them.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Transport,
+        node: str,
+        tracer: Tracer = NULL_TRACER,
+        egress_bandwidth: int | None = None,
+        ingress_bandwidth: int | None = None,
+    ):
         self.sim = sim
         self.network = network
         self.node = node
         self.tracer = tracer
         self.stages: dict[str, "Stage"] = {}
-        network.register(node, self._receive)
+        network.register(
+            node,
+            self._receive,
+            egress_bandwidth=egress_bandwidth,
+            ingress_bandwidth=ingress_bandwidth,
+        )
 
     def add_stage(self, stage: "Stage") -> None:
         if stage.name in self.stages:
@@ -63,6 +82,11 @@ class Endpoint:
 
     def _receive(self, src_node: str, envelope: Envelope) -> None:
         stage = self.stages.get(envelope.dst_stage)
+        if stage is None and "/" in envelope.dst_stage:
+            # Session-suffix routing: a gateway's logical sessions are
+            # addressed as "<stage>/<session>" (their client_id embeds the
+            # suffix); the owning stage demultiplexes by client id.
+            stage = self.stages.get(envelope.dst_stage.split("/", 1)[0])
         if stage is None:
             return  # late message for a stage that was never created; drop
         stage._enqueue(envelope.src, envelope.message)

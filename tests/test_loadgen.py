@@ -1,0 +1,157 @@
+"""Open-loop arrival processes: determinism and distribution sanity.
+
+The SLO numbers recorded by gateway benchmarks are only comparable
+across runs because arrivals reproduce bit-for-bit under a fixed seed —
+these tests pin that, plus the statistical shape each process promises
+(exponential gaps for Poisson, on/off phases for bursty, a rate swing
+for diurnal).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.loadgen.arrivals import (
+    NS_PER_S,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.sim.rand import derive_seed
+
+
+def _gaps(process, n, start_ns=0):
+    gaps, now = [], start_ns
+    for _ in range(n):
+        gap = process.next_gap_ns(now)
+        gaps.append(gap)
+        now += gap
+    return gaps
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["poisson", "bursty", "diurnal"])
+def test_same_seed_same_sequence(kind):
+    seed = derive_seed(42, "gateway", "gw0", "arrivals")
+    a = make_arrivals(kind, 5000.0, seed)
+    b = make_arrivals(kind, 5000.0, seed)
+    assert _gaps(a, 500) == _gaps(b, 500)
+
+
+@pytest.mark.parametrize("kind", ["poisson", "bursty", "diurnal"])
+def test_different_seeds_diverge(kind):
+    a = make_arrivals(kind, 5000.0, derive_seed(42, "a"))
+    b = make_arrivals(kind, 5000.0, derive_seed(42, "b"))
+    assert _gaps(a, 100) != _gaps(b, 100)
+
+
+def test_derive_seed_separates_gateway_nodes():
+    # two gateway nodes of the same run must not generate identical load
+    s0 = derive_seed(7, "gateway", "gw0", "arrivals")
+    s1 = derive_seed(7, "gateway", "gw1", "arrivals")
+    assert s0 != s1
+    assert _gaps(PoissonArrivals(1000.0, s0), 50) != _gaps(PoissonArrivals(1000.0, s1), 50)
+
+
+# ----------------------------------------------------------------------
+# Poisson: exponential inter-arrivals at the requested rate
+# ----------------------------------------------------------------------
+def test_poisson_mean_gap_matches_rate():
+    rate = 2000.0
+    gaps = _gaps(PoissonArrivals(rate, seed=1), 20_000)
+    mean = sum(gaps) / len(gaps)
+    expected = NS_PER_S / rate
+    assert expected * 0.95 < mean < expected * 1.05
+
+
+def test_poisson_gaps_are_dispersed():
+    # exponential gaps: the coefficient of variation is ~1, nothing like
+    # the 0 a constant-rate generator would produce
+    gaps = _gaps(PoissonArrivals(1000.0, seed=2), 20_000)
+    mean = sum(gaps) / len(gaps)
+    var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+    cv = var**0.5 / mean
+    assert 0.9 < cv < 1.1
+    assert all(g > 0 for g in gaps)
+
+
+# ----------------------------------------------------------------------
+# Bursty: on/off phases, long-run average preserved
+# ----------------------------------------------------------------------
+def test_bursty_preserves_long_run_rate():
+    rate = 2000.0
+    process = BurstyArrivals(rate, seed=3, on_ms=50, off_ms=50)
+    count, now, horizon = 0, 0, 10 * NS_PER_S
+    while now < horizon:
+        now += process.next_gap_ns(now)
+        count += 1
+    observed = count / (now / NS_PER_S)
+    assert rate * 0.9 < observed < rate * 1.1
+
+
+def test_bursty_concentrates_arrivals_in_on_phases():
+    # phases anchor at t=0: [0, on) is ON, [on, on+off) is OFF
+    on_ns, off_ns = 50 * 1_000_000, 50 * 1_000_000
+    period = on_ns + off_ns
+    process = BurstyArrivals(2000.0, seed=4, on_ms=50, off_ms=50)
+    in_on, total, now = 0, 0, 0
+    while now < 5 * NS_PER_S:
+        now += process.next_gap_ns(now)
+        total += 1
+        if now % period < on_ns:
+            in_on += 1
+    assert total > 0
+    assert in_on / total > 0.95
+
+
+# ----------------------------------------------------------------------
+# Diurnal: the rate actually swings over the period
+# ----------------------------------------------------------------------
+def test_diurnal_rate_swings_between_trough_and_peak():
+    # the run starts at the trough (base rate) and crests mid-period
+    process = DiurnalArrivals(1000.0, seed=5, period_ms=1000, peak_factor=3)
+    trough = process.rate_at(0)
+    peak = process.rate_at(500 * 1_000_000)
+    assert 950 < trough < 1050
+    assert 2850 < peak < 3150
+    assert peak > 2.5 * trough
+
+
+def test_diurnal_density_tracks_the_ramp():
+    period_ns = NS_PER_S  # 1000 ms
+    process = DiurnalArrivals(1000.0, seed=6, period_ms=1000, peak_factor=3)
+    mid_period, outer, now = 0, 0, 0
+    while now < 20 * NS_PER_S:
+        now += process.next_gap_ns(now)
+        phase = now % period_ns
+        if period_ns // 4 < phase < 3 * period_ns // 4:
+            mid_period += 1  # around the crest
+        else:
+            outer += 1  # around the trough
+    assert mid_period > 1.5 * outer
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def test_make_arrivals_rejects_unknown_kind():
+    with pytest.raises(ConfigurationError):
+        make_arrivals("constant", 1000.0, 0)
+
+
+@pytest.mark.parametrize(
+    "kind,kwargs",
+    [
+        ("poisson", {"rate_ops": 0.0}),
+        ("bursty", {"rate_ops": 100.0, "on_ms": 0.0}),
+        ("diurnal", {"rate_ops": 100.0, "peak_factor": 0.5}),
+    ],
+)
+def test_invalid_parameters_rejected(kind, kwargs):
+    rate = kwargs.pop("rate_ops")
+    with pytest.raises(ConfigurationError):
+        make_arrivals(kind, rate, 0, **kwargs)
