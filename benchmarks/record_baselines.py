@@ -1,6 +1,6 @@
 """Record fault-free throughput baselines as ``BENCH_*.json``.
 
-Four artifacts, all 3-replica fault-free Hybster runs:
+Six artifacts, all 3-replica fault-free Hybster runs:
 
 * ``BENCH_fig5a_sim.json`` — simulated hybster-s and hybster-x
   throughput/latency from ``run_benchmark`` (the Figure-5a operating
@@ -14,7 +14,18 @@ Four artifacts, all 3-replica fault-free Hybster runs:
   gateway tier in the simulator (deterministic: goodput and the
   p50/p99/p999 SLO trio reproduce bit-for-bit under the fixed seed);
 * ``BENCH_gateway_live.json`` — the same gateway configuration over
-  live localhost TCP (wall-clock, machine-dependent).
+  live localhost TCP (wall-clock, machine-dependent);
+* ``BENCH_batching_sim.json`` — the batching sweep (batch sizes 1, 8,
+  16, 64) under saturation, once with the paper's modelled "java"
+  crypto profile and once with the "real" profile (HMAC-SHA256 timed on
+  this host), so the batch-16-vs-batch-1 speedup is recorded under both
+  cost models;
+* ``BENCH_batching_live.json`` — the same batch sizes over live
+  localhost TCP, plus the **sim-vs-live divergence** metric: for every
+  batch size the simulator re-runs the exact live configuration under
+  each crypto profile and reports live/sim throughput ratios.  With the
+  "real" profile, divergence is a statement about the *model*, not
+  about crypto constants.
 
 Every run records mean *and* p50/p99/p999 latency — tail behaviour is
 the point of the open-loop artifacts, and the closed-loop ones get the
@@ -37,6 +48,7 @@ import os
 import platform
 import sys
 
+from repro.crypto.costs import resolve_profile
 from repro.gateway.config import GatewayConfig
 from repro.gateway.runner import run_gateway_live, run_gateway_sim
 from repro.runtime.benchmark import run_benchmark
@@ -46,6 +58,9 @@ from repro.runtime.live import run_live
 SIM_PROTOCOLS = ("hybster-s", "hybster-x")
 LIVE_PROTOCOLS = ("hybster-s", "hybster-x")
 GATEWAY_SEED = 1702
+MILLISECOND = 1_000_000
+BATCH_SIZES = (1, 8, 16, 64)
+CRYPTO_PROFILES = ("java", "real")
 
 
 def _sim_spec(protocol: str) -> DeploymentSpec:
@@ -179,21 +194,176 @@ def record_gateway_live() -> dict:
     }
 
 
+def _batching_sim_spec(batch_size: int, crypto: str) -> DeploymentSpec:
+    # saturation: enough closed-loop load that batching is the bottleneck
+    return DeploymentSpec(
+        protocol="hybster-x",
+        cores=4,
+        service="null",
+        batch_size=batch_size,
+        crypto_profile=crypto,
+        num_clients=300,
+        client_window=16,
+    )
+
+
+def _batching_live_spec(batch_size: int, crypto: str = "java") -> DeploymentSpec:
+    # smaller population: one process hosts the whole group plus clients
+    return DeploymentSpec(
+        protocol="hybster-x",
+        cores=2,
+        service="null",
+        batch_size=batch_size,
+        crypto_profile=crypto,
+        num_clients=8,
+        client_window=16,
+        client_machines=1,
+    )
+
+
+def record_batching_sim(
+    batch_sizes=BATCH_SIZES, crypto_profiles=CRYPTO_PROFILES, measure_ns=40 * MILLISECOND
+) -> dict:
+    runs = []
+    for crypto in crypto_profiles:
+        profile = resolve_profile(crypto)
+        for batch in batch_sizes:
+            result = run_benchmark(
+                build_deployment(_batching_sim_spec(batch, crypto)),
+                warmup_ns=30 * MILLISECOND,
+                measure_ns=measure_ns,
+            )
+            runs.append(
+                {
+                    "protocol": "hybster-x",
+                    "replicas": 3,
+                    "crypto": crypto,
+                    "crypto_base_ns": profile.base_ns,
+                    "crypto_per_byte_ns": round(profile.per_byte_ns, 4),
+                    "batch_size": batch,
+                    "throughput_ops": round(result.throughput_ops, 1),
+                    "mean_latency_ms": round(result.latency_ms, 4),
+                    "latency_ms": result.latency.percentiles_ms(),
+                    "completed": result.completed,
+                }
+            )
+    return {
+        "benchmark": "batching_sim",
+        "description": "simulated batching sweep under saturation "
+        "(hybster-x, null service, 300 clients, window 16)",
+        "deterministic": True,
+        "runs": runs,
+    }
+
+
+def record_batching_live(
+    batch_sizes=BATCH_SIZES,
+    crypto_profiles=CRYPTO_PROFILES,
+    target_requests=3000,
+    max_duration_s=20.0,
+    sim_measure_ns=40 * MILLISECOND,
+) -> dict:
+    runs = []
+    divergence = []
+    for batch in batch_sizes:
+        live = asyncio.run(
+            run_live(
+                _batching_live_spec(batch),
+                target_requests=target_requests,
+                max_duration_s=max_duration_s,
+            )
+        )
+        live_ops = live.throughput_ops
+        runs.append(
+            {
+                "protocol": "hybster-x",
+                "replicas": 3,
+                "batch_size": batch,
+                "throughput_ops": round(live_ops, 1),
+                "mean_latency_ms": (
+                    round(live.latency.mean_ms, 4) if live.latency.count else None
+                ),
+                "latency_ms": (
+                    live.latency.percentiles_ms() if live.latency.count else None
+                ),
+                "completed": live.completed,
+                "elapsed_s": round(live.elapsed_s, 3),
+            }
+        )
+        # Re-run the *same* configuration in the simulator under each cost
+        # profile: live/sim throughput ratio is the model-fidelity metric.
+        for crypto in crypto_profiles:
+            sim = run_benchmark(
+                build_deployment(_batching_live_spec(batch, crypto)),
+                warmup_ns=30 * MILLISECOND,
+                measure_ns=sim_measure_ns,
+            )
+            sim_ops = sim.throughput_ops
+            divergence.append(
+                {
+                    "batch_size": batch,
+                    "crypto": crypto,
+                    "sim_throughput_ops": round(sim_ops, 1),
+                    "live_throughput_ops": round(live_ops, 1),
+                    "live_over_sim": round(live_ops / sim_ops, 4) if sim_ops else None,
+                    "relative_error": (
+                        round(abs(sim_ops - live_ops) / live_ops, 4) if live_ops else None
+                    ),
+                }
+            )
+    return {
+        "benchmark": "batching_live",
+        "description": "live (localhost TCP) batching sweep plus sim-vs-live "
+        "divergence (hybster-x, null service, 8 clients, window 16)",
+        "deterministic": False,
+        "machine": {
+            "python": platform.python_version(),
+            "system": platform.system(),
+            "cpus": os.cpu_count(),
+        },
+        "runs": runs,
+        "divergence": divergence,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out-dir", default=".")
     parser.add_argument("--skip-live", action="store_true",
                         help="record only the deterministic sim baselines")
+    parser.add_argument("--only", choices=("all", "batching"), default="all",
+                        help="record only a subset of the artifacts")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke profile: batch sizes 1/16, short runs")
+    parser.add_argument("--crypto", choices=("java", "real", "both"), default="both",
+                        help="crypto cost profiles for the batching sweep")
     args = parser.parse_args(argv)
 
-    artifacts = {
-        "BENCH_fig5a_sim.json": record_sim(),
-        "BENCH_gateway_sim.json": record_gateway_sim(),
-    }
-    if not args.skip_live:
-        artifacts["BENCH_live_3replica.json"] = record_live()
-        artifacts["BENCH_gateway_live.json"] = record_gateway_live()
+    crypto_profiles = CRYPTO_PROFILES if args.crypto == "both" else (args.crypto,)
+    batch_sizes = (1, 16) if args.quick else BATCH_SIZES
+    sim_measure_ns = (15 if args.quick else 40) * MILLISECOND
+    live_targets = 600 if args.quick else 3000
+    live_cap_s = 10.0 if args.quick else 20.0
 
+    artifacts = {}
+    if args.only == "all":
+        artifacts["BENCH_fig5a_sim.json"] = record_sim()
+        artifacts["BENCH_gateway_sim.json"] = record_gateway_sim()
+    artifacts["BENCH_batching_sim.json"] = record_batching_sim(
+        batch_sizes=batch_sizes, crypto_profiles=crypto_profiles,
+        measure_ns=sim_measure_ns,
+    )
+    if not args.skip_live:
+        if args.only == "all":
+            artifacts["BENCH_live_3replica.json"] = record_live()
+            artifacts["BENCH_gateway_live.json"] = record_gateway_live()
+        artifacts["BENCH_batching_live.json"] = record_batching_live(
+            batch_sizes=batch_sizes, crypto_profiles=crypto_profiles,
+            target_requests=live_targets, max_duration_s=live_cap_s,
+            sim_measure_ns=sim_measure_ns,
+        )
+
+    os.makedirs(args.out_dir, exist_ok=True)
     for name, payload in artifacts.items():
         path = os.path.join(args.out_dir, name)
         with open(path, "w", encoding="utf-8") as fh:
@@ -202,10 +372,20 @@ def main(argv: list[str] | None = None) -> int:
         for run in payload["runs"]:
             rate = run.get("throughput_ops", run.get("goodput_ops", 0.0))
             latency = run.get("latency_ms") or {}
+            tag = run["protocol"]
+            if "batch_size" in run:
+                tag += f" b={run['batch_size']}"
+            if "crypto" in run:
+                tag += f" {run['crypto']}"
             print(
-                f"{name}: {run['protocol']} {rate:.0f} ops/s, "
+                f"{name}: {tag} {rate:.0f} ops/s, "
                 f"p50/p99/p999 {latency.get('p50')}/{latency.get('p99')}/"
                 f"{latency.get('p999')} ms"
+            )
+        for entry in payload.get("divergence", ()):
+            print(
+                f"{name}: divergence b={entry['batch_size']} {entry['crypto']}: "
+                f"live/sim {entry['live_over_sim']}"
             )
     return 0
 

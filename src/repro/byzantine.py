@@ -85,10 +85,10 @@ class CensoringHandler(ClientHandler):
 
     censored_prefixes: tuple[str, ...] = ()
 
-    def _on_request(self, request) -> None:
+    def _on_request(self, request, groups=None) -> None:
         if any(request.client_id.startswith(prefix) for prefix in self.censored_prefixes):
             return  # drop silently
-        super()._on_request(request)
+        super()._on_request(request, groups)
 
 
 class ByzantineHybsterReplica(HybsterReplica):

@@ -41,6 +41,9 @@ class ReplicaGroupConfig:
     checkpoint_interval: int = 128
     window_size: int = 256
     batch_size: int = 1
+    # how long an idle proposer holds a partial batch hoping to fill it
+    # (0 = release immediately, the adaptive-batching default)
+    batch_linger_ns: int = 0
     rotation: bool = False
     request_timeout_ns: int = 150 * MILLISECOND
     viewchange_timeout_ns: int = 150 * MILLISECOND
@@ -66,6 +69,8 @@ class ReplicaGroupConfig:
             )
         if self.batch_size < 1:
             raise ConfigurationError("batch size must be positive")
+        if self.batch_linger_ns < 0:
+            raise ConfigurationError("batch linger must be non-negative")
 
     # ------------------------------------------------------------------
     # Fault-model arithmetic

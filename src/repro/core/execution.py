@@ -170,8 +170,11 @@ class ExecutionStage(Stage):
             self._next_replier = (self._next_replier + 1) % len(self.replier_addresses)
             self.send(replier, ReplyJob(tuple(replies)))
             return
+        # one vectorized MAC pass over the whole reply batch
+        self.crypto.compute_mac_batch(
+            b"client-session", [reply.digestible() for reply in replies], size_hint_each=32
+        )
         for reply in replies:
-            self.crypto.compute_mac(b"client-session", reply.digestible(), size_hint=32)
             self.send(_client_address(reply.client_id), reply)
 
     def _send_reply(self, request: Request, result: Any, view: int) -> None:
@@ -311,8 +314,12 @@ class ReplierStage(Stage):
     def on_message(self, src: Address, message: Any) -> None:
         if not isinstance(message, ReplyJob):
             return
+        self.crypto.compute_mac_batch(
+            b"client-session",
+            [reply.digestible() for reply in message.replies],
+            size_hint_each=32,
+        )
         for reply in message.replies:
-            self.crypto.compute_mac(b"client-session", reply.digestible(), size_hint=32)
             self.send(_client_address(reply.client_id), reply)
             self.replies_sent += 1
 

@@ -76,15 +76,27 @@ class ClientHandler(Stage):
         if isinstance(message, Request):
             self._on_request(message)
         elif isinstance(message, RequestBurst):
-            for request in message.requests:
-                self._on_request(request)
+            self._on_burst(message)
         elif isinstance(message, Executed):
             self._on_executed(message)
         elif isinstance(message, ViewInstalled):
             self._on_view_installed(message)
 
     # ------------------------------------------------------------------
-    def _on_request(self, request: Request) -> None:
+    def _on_burst(self, burst: RequestBurst) -> None:
+        """Admit a whole burst, grouping accepted requests per pillar.
+
+        Each pillar receives one OrderRequest covering its share of the
+        burst rather than one message per request, so a proposer can fill
+        a whole batch from a single client window refill.
+        """
+        groups: dict[int, list[Request]] = {}
+        for request in burst.requests:
+            self._on_request(request, groups)
+        for index, requests in groups.items():
+            self.send(self.pillar_addresses[index], OrderRequest(tuple(requests)))
+
+    def _on_request(self, request: Request, groups: dict[int, list[Request]] | None = None) -> None:
         # request MACs are verified on the ordering pillars (spreading the
         # crypto across cores); the handler only routes and deduplicates
         watermark = self._executed_watermark.get(request.client_id, -1)
@@ -101,7 +113,7 @@ class ClientHandler(Stage):
         if self._is_proposer_for(request.client_id):
             self._in_flight[request.key] = _InFlight(request, proposed=True)
             self.requests_accepted += 1
-            self._propose(request)
+            self._propose(request, groups)
         else:
             # follower: the client evidently retried — watch the leader
             entry = _InFlight(request)
@@ -111,7 +123,7 @@ class ClientHandler(Stage):
     def _is_proposer_for(self, client_id: str) -> bool:
         return self.config.proposer_replica_for_client(client_id, self.view) == self.replica_id
 
-    def _propose(self, request: Request) -> None:
+    def _propose(self, request: Request, groups: dict[int, list[Request]] | None = None) -> None:
         if not self._proposing_pillars:
             return  # we propose nowhere in this view (fixed-leader follower)
         if self.sticky_client_pillars:
@@ -120,7 +132,10 @@ class ClientHandler(Stage):
             slot = self._next_pillar % len(self._proposing_pillars)
             self._next_pillar += 1
         index = self._proposing_pillars[slot]
-        self.send(self.pillar_addresses[index], OrderRequest((request,)))
+        if groups is not None:
+            groups.setdefault(index, []).append(request)
+        else:
+            self.send(self.pillar_addresses[index], OrderRequest((request,)))
 
     def _suspect(self, key: tuple[str, int]) -> None:
         entry = self._in_flight.get(key)

@@ -62,7 +62,7 @@ from repro.messages.ordering import Commit, InstanceFetch, Prepare
 from repro.messages.viewchange import NewView, NewViewAck, ViewChange
 from repro.sim.process import Address, Endpoint, Stage
 from repro.sim.resources import SimThread
-from repro.trinx.trinx import TrInX
+from repro.trinx.trinx import TrInX, batch_root
 
 
 class Pillar(Stage):
@@ -76,6 +76,7 @@ class Pillar(Stage):
         replica_id: str,
         index: int,
         trinx: TrInX,
+        crypto_profile=JAVA,
     ):
         super().__init__(endpoint, thread, f"pillar{index}")
         self.config = config
@@ -83,7 +84,7 @@ class Pillar(Stage):
         self.index = index
         self.trinx = trinx
         # client-session MACs are verified here, on the pillar's core
-        self.client_crypto = CryptoProvider(JAVA, charge=endpoint.sim.charge)
+        self.client_crypto = CryptoProvider(crypto_profile, charge=endpoint.sim.charge)
 
         self.view = 0
         self.view_stable = True
@@ -93,8 +94,11 @@ class Pillar(Stage):
         self._reset_lanes(after=0)
         self.pending: deque[Request] = deque()
         self._own_inflight = 0  # own proposals not yet committed (batch pacing)
+        self._linger_deadline: int | None = None  # batch linger window end
         self._proposed_keys: dict[tuple[str, int], int] = {}  # request key -> order
         self._buffered_prepares: dict[int, Prepare] = {}
+        self._seen_ahead = 0  # highest proposal order observed from peers
+        self._gap_timer_armed = False
 
         self.stable_ck_order = 0  # 0 = the genesis checkpoint
         self.stable_ck_cert: tuple[Checkpoint, ...] = ()
@@ -247,6 +251,8 @@ class Pillar(Stage):
                         continue
                     if prepare.view != self.view:
                         continue  # stale buffered proposal from an aborted view
+                    if not self._verify_prepare(prepare):
+                        continue  # buffered before its turn, so never checked
                     self._accept_prepare(prepare)
                     progressed = True
 
@@ -268,8 +274,27 @@ class Pillar(Stage):
         self._advance()
 
     def _batch_ready(self) -> bool:
-        """Adaptive batching: full batch, or an idle pipeline (low load)."""
-        return len(self.pending) >= self.config.batch_size or self._own_inflight == 0
+        """Adaptive batching: full batch, or an idle pipeline (low load).
+
+        With ``batch_linger_ns > 0`` an idle pipeline holds a partial
+        batch for the linger window before releasing it, trading a little
+        latency for fuller batches under light load.
+        """
+        if len(self.pending) >= self.config.batch_size:
+            return True
+        if self._own_inflight > 0:
+            return False
+        if self.config.batch_linger_ns == 0:
+            return True
+        if self._linger_deadline is None:
+            self._linger_deadline = self.now + self.config.batch_linger_ns
+            self.set_timer(self.config.batch_linger_ns, self._linger_tick)
+            return False
+        return self.now >= self._linger_deadline
+
+    def _linger_tick(self) -> None:
+        if self._linger_deadline is not None and self.pending:
+            self._advance()
 
     def _take_batch(self) -> tuple[Request, ...]:
         batch: list[Request] = []
@@ -282,20 +307,24 @@ class Pillar(Stage):
 
     def _propose(self, order: int, allow_empty: bool = False) -> None:
         batch = self._take_batch()
+        self._linger_deadline = None
         if not batch and not allow_empty:
             return
-        for request in batch:
-            # one MAC verification per client request before proposing it
-            self.client_crypto.compute_mac(b"client-session", request.digestible(), size_hint=32)
+        # one vectorized pass verifies every client MAC in the batch
+        digestibles = [request.digestible() for request in batch]
+        self.client_crypto.compute_mac_batch(b"client-session", digestibles, size_hint_each=32)
         lane = self.config.lane_of(self.view, order)
         bare = Prepare(self.view, order, batch, self.me)
-        certificate = self.trinx.create_independent(
+        # leaf digests are computed outside the enclave; TrInX certifies
+        # the fixed-size header plus the root over the ordered leaves
+        leaves = self.client_crypto.digest_batch(digestibles, size_hint_each=32)
+        certificate = self.trinx.create_independent_batch(
             self.config.ordering_counter(lane),
             self._flatten(self.view, order),
-            bare.digestible(),
-            size_hint=bare.wire_size(),
+            bare.certified_digestible(),
+            leaves,
         )
-        prepare = replace(bare, certificate=certificate)
+        prepare = replace(bare, certificate=certificate, batch_digest=batch_root(leaves))
         instance = self.log.instance(order)
         instance.view = self.view
         instance.prepare = prepare
@@ -325,11 +354,13 @@ class Pillar(Stage):
             return
         if prepare.view != self.view:
             return
+        self._seen_ahead = max(self._seen_ahead, order)
         if not self.log.in_window(order):
             # ahead of our window (our checkpoint lags): keep one window's
             # worth of lookahead so the proposal is ready once we advance
             if self.log.high < order <= self.log.high + self.config.window_size:
                 self._buffered_prepares.setdefault(order, prepare)
+            self._note_gap()
             return
         if not self.view_stable:
             # the view matches but is not yet stable (NEW-VIEW still in
@@ -345,6 +376,7 @@ class Pillar(Stage):
             return
         if order > self.lane_next[lane]:
             self._buffered_prepares.setdefault(order, prepare)
+            self._note_gap()
             return
         if not self._verify_prepare(prepare):
             return
@@ -372,13 +404,34 @@ class Pillar(Stage):
             return False
         if not self.verify_trinx:
             return True
-        return self.trinx.verify(certificate, prepare.digestible(), size_hint=prepare.wire_size())
+        return self._verify_batch_certificate(prepare)
+
+    def _verify_batch_certificate(self, prepare: Prepare) -> bool:
+        """Membership check: every request must hash into the certified root.
+
+        Leaf digests are recomputed from the batch we actually received,
+        so a tampered, reordered, or spliced request changes the root and
+        the certificate no longer verifies.
+        """
+        if prepare.batch_digest is None:
+            return False
+        leaves = self.client_crypto.digest_batch(
+            [request.digestible() for request in prepare.batch], size_hint_each=32
+        )
+        if batch_root(leaves) != prepare.batch_digest:
+            return False
+        return self.trinx.verify_batch(
+            prepare.certificate, prepare.certified_digestible(), leaves
+        )
 
     def _accept_prepare(self, prepare: Prepare) -> None:
         """Acknowledge a verified PREPARE at its lane's next expected order."""
-        for request in prepare.batch:
-            # followers verify the client MACs of proposed requests too
-            self.client_crypto.compute_mac(b"client-session", request.digestible(), size_hint=32)
+        # followers verify the client MACs of proposed requests too
+        self.client_crypto.compute_mac_batch(
+            b"client-session",
+            [request.digestible() for request in prepare.batch],
+            size_hint_each=32,
+        )
         order = prepare.order
         lane = self.config.lane_of(prepare.view, order)
         instance = self.log.instance(order)
@@ -514,6 +567,37 @@ class Pillar(Stage):
                 self.coordinator_address,
                 RequestVc(reason=f"ordering traffic for higher view {view}", suspected_view=self.view),
             )
+
+    def _note_gap(self) -> None:
+        """Arm a catch-up probe: proposals exist beyond our next slot.
+
+        Without this, a replica that falls more than one lookahead window
+        behind only recovers through checkpoint state transfer, and any
+        instances ordered after the final stable checkpoint are lost to it
+        for good (their PREPAREs arrived outside the buffer horizon and
+        the quorum, having committed, never retransmits them).
+        """
+        if self._gap_timer_armed:
+            return
+        self._gap_timer_armed = True
+        self.set_timer(self.config.fill_gap_timeout_ns, self._gap_tick)
+
+    def _gap_tick(self) -> None:
+        self._gap_timer_armed = False
+        if not self.view_stable:
+            return
+        horizon = min(self._seen_ahead, self.log.high)
+        missing = [
+            order
+            for order in range(min(self.lane_next.values()), horizon + 1)
+            if self.config.pillar_of_order(order) == self.index
+            and order >= self.lane_next[self.config.lane_of(self.view, order)]
+            and order not in self._buffered_prepares
+        ]
+        for order in missing:
+            self.broadcast(list(self.peer_addresses.values()), InstanceFetch(order, self.view))
+        if missing:
+            self._note_gap()  # keep probing until the holes close
 
     def _on_fill_gap(self, message: FillGap) -> None:
         order = message.order
@@ -788,7 +872,7 @@ class Pillar(Stage):
             return False
         if certificate.new_value != self._flatten(prepare.view, prepare.order):
             return False
-        return self.trinx.verify(certificate, prepare.digestible(), size_hint=prepare.wire_size())
+        return self._verify_batch_certificate(prepare)
 
     def _verify_checkpoint_certificate(self, order: int, certificate: tuple[Checkpoint, ...]) -> bool:
         if order <= 0:
@@ -820,13 +904,16 @@ class Pillar(Stage):
             if order <= floor:
                 continue  # covered by a checkpoint reached meanwhile
             bare = Prepare(message.v_to, order, batch, self.me, reproposal=True)
-            certificate = self.trinx.create_independent(
+            leaves = self.client_crypto.digest_batch(
+                [request.digestible() for request in batch], size_hint_each=32
+            )
+            certificate = self.trinx.create_independent_batch(
                 reproposal_counter,
                 self._flatten(message.v_to, order),
-                bare.digestible(),
-                size_hint=bare.wire_size(),
+                bare.certified_digestible(),
+                leaves,
             )
-            prepare = replace(bare, certificate=certificate)
+            prepare = replace(bare, certificate=certificate, batch_digest=batch_root(leaves))
             new_prepares.append(prepare)
             instance = self.log.instance(order)
             instance.view = message.v_to

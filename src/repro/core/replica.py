@@ -53,11 +53,13 @@ class HybsterReplica:
         trinx_instances: list[TrInX] | None = None,
         message_base_cost_ns: int = MESSAGE_BASE_COST_NS,
         num_repliers: int = 2,
+        crypto_profile=JAVA,
     ):
         self.sim = sim
         self.config = config
         self.replica_id = replica_id
         self.machine = machine
+        self.crypto_profile = crypto_profile
         self.endpoint = Endpoint(sim, network, replica_id, tracer)
         self.platform = EnclavePlatform(charge=sim.charge, via_jni=True)
 
@@ -85,6 +87,7 @@ class HybsterReplica:
                 replica_id,
                 i,
                 trinx_instances[i],
+                crypto_profile=crypto_profile,
             )
             for i in range(config.num_pillars)
         ]
@@ -94,7 +97,7 @@ class HybsterReplica:
             config,
             replica_id,
             service,
-            CryptoProvider(JAVA, charge=sim.charge),
+            CryptoProvider(crypto_profile, charge=sim.charge),
             reply_payload_size=reply_payload_size,
         )
         self.handler = ClientHandler(
@@ -102,13 +105,13 @@ class HybsterReplica:
             allocator.next("handler"),
             config,
             replica_id,
-            CryptoProvider(JAVA, charge=sim.charge),
+            CryptoProvider(crypto_profile, charge=sim.charge),
         )
         self.repliers = [
             ReplierStage(
                 self.endpoint,
                 allocator.next(f"replier{i}"),
-                CryptoProvider(JAVA, charge=sim.charge),
+                CryptoProvider(crypto_profile, charge=sim.charge),
                 f"replier{i}",
             )
             for i in range(num_repliers)
@@ -204,6 +207,7 @@ def build_group(
     reply_payload_size: int = 0,
     tracer: Tracer = NULL_TRACER,
     message_base_cost_ns: int = MESSAGE_BASE_COST_NS,
+    crypto_profile=JAVA,
 ) -> list[HybsterReplica]:
     """Build and fully wire a replica group, one replica per machine."""
     if len(machines) != config.n:
@@ -219,6 +223,7 @@ def build_group(
             reply_payload_size=reply_payload_size,
             tracer=tracer,
             message_base_cost_ns=message_base_cost_ns,
+            crypto_profile=crypto_profile,
         )
         for machine, replica_id in zip(machines, config.replica_ids)
     ]

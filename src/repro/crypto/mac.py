@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import hmac
 import hashlib
-from typing import Any
+from typing import Any, Iterable, Sequence
 
 from repro.crypto.digests import canonical_bytes
 
@@ -19,6 +19,36 @@ MAC_SIZE = 32
 def compute_mac(key: bytes, data: Any) -> bytes:
     """HMAC-SHA256 of the canonical serialization of ``data``."""
     return hmac.new(key, canonical_bytes(data), hashlib.sha256).digest()
+
+
+def _pack_items(items: Iterable[Any]) -> tuple[bytearray, list[tuple[int, int]]]:
+    """Serialize ``items`` back to back into one buffer, returning slices.
+
+    The hot path MACs whole batches of requests/replies at once; packing
+    them into a single contiguous buffer and hashing ``memoryview`` slices
+    avoids one allocation per item.
+    """
+    buffer = bytearray()
+    spans: list[tuple[int, int]] = []
+    for item in items:
+        start = len(buffer)
+        buffer += canonical_bytes(item)
+        spans.append((start, len(buffer)))
+    return buffer, spans
+
+
+def compute_mac_many(key: bytes, items: Sequence[Any]) -> list[bytes]:
+    """Vectorized :func:`compute_mac`: one buffer, one HMAC per slice."""
+    buffer, spans = _pack_items(items)
+    view = memoryview(buffer)
+    return [hmac.new(key, view[a:b], hashlib.sha256).digest() for a, b in spans]
+
+
+def digest_many(items: Sequence[Any]) -> list[bytes]:
+    """Vectorized SHA-256 over the canonical serialization of each item."""
+    buffer, spans = _pack_items(items)
+    view = memoryview(buffer)
+    return [hashlib.sha256(view[a:b]).digest() for a, b in spans]
 
 
 def verify_mac(key: bytes, data: Any, mac: bytes) -> bool:

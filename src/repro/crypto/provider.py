@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import hashlib
 import hmac as hmac_mod
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.crypto import costs
+from repro.crypto import mac as mac_mod
 from repro.crypto.digests import canonical_bytes
 
 
@@ -43,6 +44,12 @@ class CryptoProvider:
         if self._charge is not None:
             self._charge(self.profile.op_ns(size))
 
+    def _account_batch(self, count: int, total: int) -> None:
+        self.ops += count
+        self.bytes_processed += total
+        if self._charge is not None:
+            self._charge(self.profile.batch_ns(count, total))
+
     # ------------------------------------------------------------------
     def digest(self, data: Any, size_hint: int | None = None) -> bytes:
         """SHA-256 digest; cost charged for ``size_hint`` (or serialized) bytes."""
@@ -60,6 +67,41 @@ class CryptoProvider:
         """Verify an HMAC; verification costs the same as computation."""
         expected = self.compute_mac(key, data, size_hint=size_hint)
         return hmac_mod.compare_digest(expected, tag)
+
+    # ------------------------------------------------------------------
+    # Vectorized batch operations (the hot-path amortization knob): one
+    # contiguous serialization buffer, memoryview slices per item, one
+    # amortized cost charge for the whole pass.
+    # ------------------------------------------------------------------
+    def compute_mac_batch(
+        self, key: bytes, items: Sequence[Any], size_hint_each: int | None = None
+    ) -> list[bytes]:
+        """HMAC-SHA256 of every item in one vectorized pass."""
+        if not items:
+            return []
+        buffer, spans = mac_mod._pack_items(items)
+        total = (
+            size_hint_each * len(items) if size_hint_each is not None else len(buffer)
+        )
+        self._account_batch(len(items), total)
+        view = memoryview(buffer)
+        return [
+            hmac_mod.new(key, view[a:b], hashlib.sha256).digest() for a, b in spans
+        ]
+
+    def digest_batch(
+        self, items: Sequence[Any], size_hint_each: int | None = None
+    ) -> list[bytes]:
+        """SHA-256 of every item in one vectorized pass."""
+        if not items:
+            return []
+        buffer, spans = mac_mod._pack_items(items)
+        total = (
+            size_hint_each * len(items) if size_hint_each is not None else len(buffer)
+        )
+        self._account_batch(len(items), total)
+        view = memoryview(buffer)
+        return [hashlib.sha256(view[a:b]).digest() for a, b in spans]
 
 
 __all__ = ["CryptoProvider"]

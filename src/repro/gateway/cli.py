@@ -76,7 +76,9 @@ def _spec_from_args(args: argparse.Namespace) -> DeploymentSpec:
         cores=args.cores,
         service=args.service,
         batch_size=args.batch_size,
+        batch_linger_ns=args.batch_linger_us * 1_000,
         rotation=args.rotation,
+        crypto_profile=args.crypto,
         num_clients=0,
         client_machines=1,
         payload_size=args.payload_size,
@@ -99,6 +101,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--service", choices=sorted(SERVICES), default="counter")
     parser.add_argument("--cores", type=int, default=4)
     parser.add_argument("--batch-size", type=int, default=1)
+    parser.add_argument("--batch-linger-us", type=int, default=0,
+                        help="hold a partial batch this long under light load")
+    parser.add_argument("--crypto", choices=("openssl", "java", "tcrypto", "real"),
+                        default="java",
+                        help="crypto cost profile; 'real' times HMAC-SHA256 on this host")
     parser.add_argument("--rotation", action="store_true")
     parser.add_argument("--checkpoint-interval", type=int, default=128)
     parser.add_argument("--window-size", type=int, default=1024)

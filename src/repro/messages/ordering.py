@@ -33,6 +33,11 @@ class Prepare(ProtocolMessage):
     leader: str
     certificate: CounterCertificate | None = None
     reproposal: bool = False
+    # Root over the ordered per-request leaf digests, as certified by the
+    # proposer's TrInX instance (see repro.trinx.trinx.batch_root).
+    # Verifiers recompute it from the batch they received, so the field is
+    # a commitment, not a trusted input.
+    batch_digest: bytes | None = None
 
     def digestible(self):
         return (
@@ -44,6 +49,12 @@ class Prepare(ProtocolMessage):
             self.reproposal,
         )
 
+    def certified_digestible(self):
+        """The fixed-size header the enclave certifies alongside the batch
+        root — everything that binds the batch to its slot except the
+        requests themselves."""
+        return ("prepare-header", self.view, self.order, self.leader, self.reproposal)
+
     def proposal_digestible(self):
         """What COMMITs agree on: the request assignment, not the sender."""
         return ("proposal", self.view, self.order, tuple(r.digestible() for r in self.batch))
@@ -54,6 +65,7 @@ class Prepare(ProtocolMessage):
             + 16
             + sum(request.wire_size() for request in self.batch)
             + certificate_size(self.certificate)
+            + (32 if self.batch_digest is not None else 0)
         )
 
     @property

@@ -151,20 +151,18 @@ class PeerConnection:
                 writer.write(ping)
                 await writer.drain()
                 continue
-            writer.write(frame)
-            # Opportunistically coalesce whatever else is queued into the
-            # same socket write — the live analogue of the prototype's
-            # batched socket writes.
+            # Opportunistically coalesce whatever else is queued into one
+            # writev-style socket write — the live analogue of the
+            # prototype's batched socket writes.
+            frames = [frame]
             while True:
                 try:
-                    extra = self._queue.get_nowait()
+                    frames.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-                writer.write(extra)
-                self.stats.frames_sent += 1
-                self.stats.bytes_sent += len(extra)
-            self.stats.frames_sent += 1
-            self.stats.bytes_sent += len(frame)
+            writer.writelines(frames)
+            self.stats.frames_sent += len(frames)
+            self.stats.bytes_sent += sum(len(f) for f in frames)
             await writer.drain()
 
     # ------------------------------------------------------------------

@@ -95,6 +95,11 @@ class TcpTransport:
 
     def send(self, src: str, dst: str, message: Any, size: int) -> None:
         """Encode and ship one stage envelope from ``src`` to ``dst``."""
+        self._send_one(src, dst, message, size, None)
+
+    def _send_one(
+        self, src: str, dst: str, message: Any, size: int, frame_cache: dict | None
+    ) -> None:
         if src not in self._receivers:
             raise TransportError(f"unknown sender {src!r}")
         if dst not in self.directory:
@@ -102,6 +107,7 @@ class TcpTransport:
         stats = self._stats[src]
         self.messages_sent += 1
 
+        original = message
         extra_delay_ns = 0
         if self._filters:
             now = self._clock()
@@ -118,11 +124,19 @@ class TcpTransport:
                     self.chaos_injected += 1
                     stats.chaos_injected += 1
 
-        # `message` is a repro.sim.process.Envelope; unwrap its addressing.
-        src_addr = getattr(message, "src", (src, "?"))
-        dst_stage = getattr(message, "dst_stage", "?")
-        payload = getattr(message, "message", message)
-        frame = self.codec.encode_envelope(src_addr[0], src_addr[1], dst_stage, payload)
+        # A multicast encodes the (unreplaced) envelope once and reuses the
+        # frame for every destination; a chaos replacement falls back to a
+        # per-destination encode since its bytes differ.
+        if frame_cache is not None and message is original and "frame" in frame_cache:
+            frame = frame_cache["frame"]
+        else:
+            # `message` is a repro.sim.process.Envelope; unwrap its addressing.
+            src_addr = getattr(message, "src", (src, "?"))
+            dst_stage = getattr(message, "dst_stage", "?")
+            payload = getattr(message, "message", message)
+            frame = self.codec.encode_envelope(src_addr[0], src_addr[1], dst_stage, payload)
+            if frame_cache is not None and message is original:
+                frame_cache["frame"] = frame
 
         if extra_delay_ns > 0:
             self.chaos_delayed += 1
@@ -149,8 +163,9 @@ class TcpTransport:
             stats.send_queue_drops += 1
 
     def multicast(self, src: str, dsts: list[str], message: Any, size: int) -> None:
+        frame_cache: dict = {}
         for dst in dsts:
-            self.send(src, dst, message, size)
+            self._send_one(src, dst, message, size, frame_cache)
 
     def interface(self, name: str) -> TransportStats:
         """Traffic counters for a node (parity with ``Network.interface``)."""

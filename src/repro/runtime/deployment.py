@@ -28,7 +28,7 @@ from repro.clients.client import Client
 from repro.clients.workload import NullWorkload, Workload
 from repro.core.config import ReplicaGroupConfig
 from repro.core.replica import build_group
-from repro.crypto.costs import JAVA
+from repro.crypto.costs import resolve_profile
 from repro.crypto.provider import CryptoProvider
 from repro.errors import ConfigurationError
 from repro.gateway.config import GatewayConfig
@@ -65,7 +65,12 @@ class DeploymentSpec:
     ht_enabled: bool = True
     service: str = "null"
     batch_size: int = 1
+    batch_linger_ns: int = 0
     rotation: bool = False
+    # Named crypto cost profile ("openssl" | "java" | "tcrypto" | "real");
+    # "real" times HMAC-SHA256 on this host so simulated crypto costs match
+    # what live mode actually pays.
+    crypto_profile: str = "java"
     num_clients: int = 16
     client_window: int = 4
     client_machines: int = 2
@@ -152,11 +157,13 @@ def build_deployment(spec: DeploymentSpec, tracer: Tracer = NULL_TRACER) -> Depl
     sim = Simulator()
     network = Network(sim, latency_ns=spec.latency_ns, default_bandwidth=spec.nic_bandwidth)
     cal = spec.calibration
+    crypto_profile = resolve_profile(spec.crypto_profile)
 
     config = ReplicaGroupConfig(
         replica_ids=_replica_ids(spec.protocol),
         num_pillars=_num_pillars(spec.protocol, spec.cores),
         batch_size=spec.batch_size,
+        batch_linger_ns=spec.batch_linger_ns,
         rotation=spec.rotation,
         checkpoint_interval=spec.checkpoint_interval,
         window_size=spec.window_size,
@@ -173,6 +180,7 @@ def build_deployment(spec: DeploymentSpec, tracer: Tracer = NULL_TRACER) -> Depl
             sim, network, machines, config, service_factory,
             reply_payload_size=spec.reply_payload_size, tracer=tracer,
             message_base_cost_ns=cal.message_base_cost_ns,
+            crypto_profile=crypto_profile,
         )
         stages = [
             stage for replica in replicas for stage in replica.endpoint.stages.values()
@@ -231,7 +239,7 @@ def build_deployment(spec: DeploymentSpec, tracer: Tracer = NULL_TRACER) -> Depl
             name,
             spec.make_workload(client_id, index),
             window=spec.client_window,
-            crypto=CryptoProvider(JAVA, charge=sim.charge),
+            crypto=CryptoProvider(crypto_profile, charge=sim.charge),
         )
         client.send_cost_ns = cal.client_send_cost_ns
         client.control_send_cost_ns = cal.client_send_cost_ns
@@ -272,7 +280,7 @@ def build_deployment(spec: DeploymentSpec, tracer: Tracer = NULL_TRACER) -> Depl
                 arrivals,
                 spec.make_workload,
                 seed=spec.seed,
-                crypto=CryptoProvider(JAVA, charge=sim.charge),
+                crypto=CryptoProvider(crypto_profile, charge=sim.charge),
             )
             gateway.send_cost_ns = cal.client_send_cost_ns
             gateway.control_send_cost_ns = cal.client_send_cost_ns

@@ -40,7 +40,7 @@ from repro.clients.client import Client
 from repro.clients.stats import LatencyStats
 from repro.core.config import ReplicaGroupConfig
 from repro.core.replica import HybsterReplica
-from repro.crypto.costs import JAVA
+from repro.crypto.costs import resolve_profile
 from repro.crypto.provider import CryptoProvider
 from repro.errors import ConfigurationError
 from repro.gateway.gateway import GatewayStage
@@ -297,10 +297,12 @@ def build_live_deployment(
             raise ConfigurationError(f"nodes {sorted(unknown)} are not part of the group")
         local = tuple(local_nodes)
 
+    crypto_profile = resolve_profile(spec.crypto_profile)
     config = ReplicaGroupConfig(
         replica_ids=replica_ids,
         num_pillars=_num_pillars(spec.protocol, spec.cores),
         batch_size=spec.batch_size,
+        batch_linger_ns=spec.batch_linger_ns,
         rotation=spec.rotation,
         checkpoint_interval=spec.checkpoint_interval,
         window_size=spec.window_size,
@@ -322,6 +324,7 @@ def build_live_deployment(
             service_factory(),
             reply_payload_size=spec.reply_payload_size,
             tracer=tracer,
+            crypto_profile=crypto_profile,
         )
         _wire_peer_addresses(replica, config)
         if spec.gateway is not None and spec.gateway.sticky_pillars:
@@ -347,7 +350,7 @@ def build_live_deployment(
                     name,
                     spec.make_workload(client_id, index),
                     window=spec.client_window,
-                    crypto=CryptoProvider(JAVA, charge=kernel.charge),
+                    crypto=CryptoProvider(crypto_profile, charge=kernel.charge),
                 )
             )
 
@@ -372,7 +375,7 @@ def build_live_deployment(
                 arrivals,
                 spec.make_workload,
                 seed=spec.seed,
-                crypto=CryptoProvider(JAVA, charge=kernel.charge),
+                crypto=CryptoProvider(crypto_profile, charge=kernel.charge),
             )
         )
 
@@ -575,6 +578,7 @@ def _spec_from_args(args: argparse.Namespace) -> DeploymentSpec:
         cores=args.cores,
         service=args.service,
         batch_size=args.batch_size,
+        batch_linger_ns=args.batch_linger_us * 1_000,
         rotation=args.rotation,
         num_clients=args.clients,
         client_window=args.window,
@@ -583,6 +587,7 @@ def _spec_from_args(args: argparse.Namespace) -> DeploymentSpec:
         checkpoint_interval=args.checkpoint_interval,
         window_size=args.window_size,
         seed=args.seed,
+        crypto_profile=args.crypto,
     )
 
 
@@ -605,6 +610,7 @@ async def _run_group_processes(args: argparse.Namespace) -> int:
     passthrough = [
         "--protocol", spec.protocol, "--service", spec.service,
         "--cores", str(spec.cores), "--batch-size", str(spec.batch_size),
+        "--batch-linger-us", str(spec.batch_linger_ns // 1_000),
         "--clients", str(spec.num_clients), "--window", str(spec.client_window),
         "--client-machines", str(spec.client_machines),
         "--payload-size", str(spec.payload_size),
@@ -612,7 +618,7 @@ async def _run_group_processes(args: argparse.Namespace) -> int:
         "--window-size", str(spec.window_size),
         "--requests", str(args.requests), "--duration", str(args.duration),
         "--base-port", str(args.base_port), "--host", args.host,
-        "--seed", str(args.seed),
+        "--seed", str(args.seed), "--crypto", spec.crypto_profile,
     ]
     if spec.rotation:
         passthrough.append("--rotation")
@@ -730,6 +736,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--service", choices=sorted(SERVICES), default="counter")
     parser.add_argument("--cores", type=int, default=4)
     parser.add_argument("--batch-size", type=int, default=1)
+    parser.add_argument("--batch-linger-us", type=int, default=0,
+                        help="hold a partial batch this long under light load")
+    parser.add_argument("--crypto", choices=("openssl", "java", "tcrypto", "real"),
+                        default="java",
+                        help="crypto cost profile; 'real' times HMAC-SHA256 on this host")
     parser.add_argument("--rotation", action="store_true")
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--window", type=int, default=8)

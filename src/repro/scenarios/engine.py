@@ -25,7 +25,13 @@ from repro.scenarios.safety import SafetyReport, check_safety
 from repro.scenarios.spec import MS, ScenarioSpec
 from repro.sim.tracing import Tracer
 
-TRACE_CATEGORIES = {"execute", "counter-cert", "client-invoke", "client-complete"}
+TRACE_CATEGORIES = {
+    "execute",
+    "counter-cert",
+    "client-invoke",
+    "client-complete",
+    "view-installed",  # rare; lets scenarios assert a view change really happened
+}
 
 
 @dataclass

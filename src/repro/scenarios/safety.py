@@ -10,12 +10,19 @@ or merged from per-process JSONL exports of a live run) carrying:
 * ``client-invoke`` / ``client-complete`` records — the client-observed
   start and end of each request, with operation and result.
 
-Three independent properties are checked:
+Four independent properties are checked:
 
 **Agreement.**  For every order number, all replicas that executed it
 must have executed identical batch *content* (same digest).  This is the
 property equivocation attacks — a leader proposing different requests to
 different followers under the same order — would break.
+
+**No double execution.**  A request (identified by its ``(client,
+request id)`` key) must be executed at exactly one order number on any
+replica.  This is what a view change must preserve for batches: a batch
+that was half-assembled when the leader died may be re-proposed by the
+new leader, but its member requests must never land at a second order —
+that would apply a client operation twice.
 
 **Certificate monotonicity.**  Within one ``(node, counter)`` stream,
 certified counter values must be strictly increasing: TrInX counters
@@ -54,7 +61,7 @@ _INFINITY = float("inf")
 class SafetyViolation:
     """One concrete violation, with enough context to debug it."""
 
-    kind: str  # "agreement" | "counter" | "linearizability"
+    kind: str  # "agreement" | "double-execution" | "counter" | "linearizability"
     detail: str
 
     def __str__(self) -> str:
@@ -67,6 +74,7 @@ class SafetyReport:
 
     violations: list[SafetyViolation] = field(default_factory=list)
     orders_checked: int = 0
+    requests_checked: int = 0
     certificates_checked: int = 0
     reads_checked: int = 0
 
@@ -78,6 +86,7 @@ class SafetyReport:
         status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
         return (
             f"safety {status}: {self.orders_checked} orders, "
+            f"{self.requests_checked} executed requests, "
             f"{self.certificates_checked} certificates, "
             f"{self.reads_checked} reads checked"
         )
@@ -89,9 +98,10 @@ class SafetyReport:
 
 
 def check_safety(tracer: Tracer) -> SafetyReport:
-    """Run all three property checks over a merged trace."""
+    """Run all four property checks over a merged trace."""
     report = SafetyReport()
     _check_agreement(tracer, report)
+    _check_no_double_execution(tracer, report)
     _check_counter_monotonicity(tracer, report)
     _check_linearizability(tracer, report)
     return report
@@ -136,6 +146,37 @@ def _check_agreement(tracer: Tracer, report: SafetyReport) -> None:
                     f"replicas diverge at order {order}: {detail}",
                 )
             )
+
+
+# ----------------------------------------------------------------------
+# No double execution
+# ----------------------------------------------------------------------
+def _check_no_double_execution(tracer: Tracer, report: SafetyReport) -> None:
+    # (replica, request key) -> order where that request first executed
+    first_order: dict[tuple[str, Any], int] = {}
+    for record in tracer.select(category="execute"):
+        detail = _as_tuple(record.detail)
+        if detail is None or len(detail) < 4:
+            continue  # legacy trace without batch keys: nothing to check
+        order = int(detail[1])
+        keys = _as_tuple(detail[3])
+        if not isinstance(keys, tuple):
+            continue
+        replica = record.node.split("/", 1)[0]
+        for key in keys:
+            request = _hashable(key)
+            previous = first_order.get((replica, request))
+            if previous is None:
+                first_order[(replica, request)] = order
+                report.requests_checked += 1
+            elif previous != order:
+                report.violations.append(
+                    SafetyViolation(
+                        "double-execution",
+                        f"replica {replica} executed request {request} at "
+                        f"order {previous} and again at order {order}",
+                    )
+                )
 
 
 # ----------------------------------------------------------------------

@@ -103,7 +103,8 @@ _GATEWAY_KEYS = (
 )
 
 _DEPLOYMENT_KEYS = (
-    "protocol", "cores", "ht_enabled", "service", "batch_size", "rotation",
+    "protocol", "cores", "ht_enabled", "service", "batch_size", "batch_linger_ns",
+    "rotation", "crypto_profile",
     "num_clients", "client_window", "client_machines", "payload_size",
     "reply_payload_size", "checkpoint_interval", "window_size", "noop_delay_ns",
 )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from typing import Any
+from typing import Any, Sequence
 
 from repro.crypto.digests import canonical_bytes
 from repro.errors import CounterRegressionError, UnknownCounterError
@@ -34,6 +34,33 @@ from repro.trinx.enclave import EnclavePlatform, SealedState
 _CONTINUING_TAG = "trinx-continuing"
 _INDEPENDENT_TAG = "trinx-independent"
 _MULTI_TAG = "trinx-multi"
+_BATCH_TAG = "trinx-batch"
+
+# Accounting for batched certification: the untrusted side hands the
+# enclave the proposal header plus one 32-byte digest per request, so the
+# enclave hashes ``header + 32 * n`` bytes instead of the whole batch.
+BATCH_HEADER_HINT = 32
+BATCH_LEAF_SIZE = 32
+
+
+def batch_size_hint(num_leaves: int) -> int:
+    """Bytes the enclave hashes for a batched certificate."""
+    return BATCH_HEADER_HINT + BATCH_LEAF_SIZE * num_leaves
+
+
+def batch_root(leaf_digests: Sequence[bytes]) -> bytes:
+    """Order-sensitive root over per-request leaf digests.
+
+    A flat hash chain rather than a Merkle tree: batches are small (tens
+    of requests) and verifiers always hold the whole batch, so membership
+    proofs are never needed — only the all-or-nothing binding.  The leaf
+    count is mixed in so a batch cannot be extended or truncated.
+    """
+    hasher = hashlib.sha256(b"trinx-batch-root")
+    hasher.update(len(leaf_digests).to_bytes(4, "big"))
+    for leaf in leaf_digests:
+        hasher.update(leaf)
+    return hasher.digest()
 
 
 class TrInX:
@@ -120,6 +147,42 @@ class TrInX:
         self.platform.account_call(size_hint)
         return CounterCertificate(self.instance_id, counter, new_value, None, mac)
 
+    def create_independent_batch(
+        self,
+        counter: int,
+        new_value: int,
+        header: Any,
+        leaf_digests: Sequence[bytes],
+        size_hint: int | None = None,
+    ) -> CounterCertificate:
+        """One independent certificate over a whole request batch.
+
+        TrInc-lineage batching: the untrusted side digests each request
+        (cheap, vectorized, outside the enclave) and passes the proposal
+        header plus the ordered leaf digests; the enclave binds the
+        counter transition to the header digest and the *root* over the
+        leaves.  Tampering with any member request, reordering the batch,
+        or splicing a request from another certified batch changes the
+        root and voids the certificate, yet the enclave only ever hashes
+        ``header + 32 * n`` bytes.
+        """
+        self._check_counter(counter)
+        current = self._counters[counter]
+        if new_value <= current:
+            raise CounterRegressionError(
+                f"independent certificate needs new_value > {current}, got {new_value}"
+            )
+        root = batch_root(leaf_digests)
+        mac = self._mac(
+            (_BATCH_TAG, self.instance_id, counter, new_value, self._message_digest(header), root)
+        )
+        self._counters[counter] = new_value
+        self.certificates_issued += 1
+        self.platform.account_call(
+            size_hint if size_hint is not None else batch_size_hint(len(leaf_digests))
+        )
+        return CounterCertificate(self.instance_id, counter, new_value, None, mac)
+
     def create_trusted_mac(self, counter: int, message: Any, size_hint: int = 32) -> CounterCertificate:
         """Non-repudiable MAC: a continuing certificate with ``tv' == tv``."""
         self._check_counter(counter)
@@ -170,6 +233,34 @@ class TrInX:
                     digest,
                 )
             )
+        return hmac.compare_digest(expected, certificate.mac)
+
+    def verify_batch(
+        self,
+        certificate: CounterCertificate,
+        header: Any,
+        leaf_digests: Sequence[bytes],
+        size_hint: int | None = None,
+    ) -> bool:
+        """Verify a batched certificate against recomputed leaf digests.
+
+        The verifier recomputes each request's leaf digest from the batch
+        it actually received, so a certificate only verifies when *every*
+        member is byte-identical and in the certified order.
+        """
+        self.platform.account_call(
+            size_hint if size_hint is not None else batch_size_hint(len(leaf_digests))
+        )
+        expected = self._mac(
+            (
+                _BATCH_TAG,
+                certificate.issuer,
+                certificate.counter,
+                certificate.new_value,
+                self._message_digest(header),
+                batch_root(leaf_digests),
+            )
+        )
         return hmac.compare_digest(expected, certificate.mac)
 
     def verify_multi(self, certificate: MultiCounterCertificate, message: Any, size_hint: int = 32) -> bool:

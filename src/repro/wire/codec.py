@@ -167,6 +167,10 @@ class WireCodec:
             self._type_by_id[type_id] = cls
             self._id_by_type[cls] = type_id
             self._fields_by_type[cls] = dataclasses.fields(cls)
+        # Reusable body scratch buffer: encode()/encode_envelope() clear it
+        # instead of allocating a fresh bytearray per message, so the
+        # buffer's grown capacity is retained across hot-path calls.
+        self._scratch = bytearray()
 
     # ------------------------------------------------------------------
     # Registry introspection
@@ -330,7 +334,8 @@ class WireCodec:
     def encode(self, message: Any) -> bytes:
         """Encode one registered message as a complete frame."""
         type_id = self.type_id_of(type(message))
-        body = bytearray()
+        body = self._scratch
+        del body[:]
         self._encode_value(body, message)
         return encode_frame(KIND_MESSAGE, type_id, bytes(body))
 
@@ -365,7 +370,8 @@ class WireCodec:
     def encode_envelope(self, src_node: str, src_stage: str, dst_stage: str, message: Any) -> bytes:
         """Encode a stage-addressed message for the asyncio transport."""
         type_id = self.type_id_of(type(message))
-        body = bytearray()
+        body = self._scratch
+        del body[:]
         self._encode_value(body, src_node)
         self._encode_value(body, src_stage)
         self._encode_value(body, dst_stage)

@@ -1,0 +1,195 @@
+"""Property-based tests for batched TrInX certification.
+
+One counter certificate covers a whole PREPARE batch: the enclave MACs
+the batch *root* (a hash over the ordered leaf digests) together with
+the fixed-size proposal header.  These properties pin the security
+contract — the certificate verifies iff every member of the batch is
+exactly the one certified, in exactly the certified position — and that
+batched certification drives the trusted counter identically to the
+per-request path it replaced.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.mac import compute_mac, compute_mac_many, digest_many
+from repro.errors import CounterRegressionError
+from repro.messages.client import Request
+from repro.trinx.enclave import EnclavePlatform
+from repro.trinx.trinx import TrInX, batch_root, batch_size_hint
+from repro.trinx.certificates import CounterCertificate
+
+SECRET = b"batch-certification-test-secret!"
+HEADER = ("prepare-header", 0, 7, "r0", False)
+
+
+def make_trinx(instance_id: str = "r0/tss0") -> TrInX:
+    return TrInX(EnclavePlatform(), instance_id, SECRET, num_counters=2)
+
+
+def make_pair() -> tuple[TrInX, TrInX]:
+    """Issuer and verifier: distinct instances sharing the group secret."""
+    return make_trinx("r0/tss0"), make_trinx("r1/tss0")
+
+
+def requests_from(payloads, client="clients:c0") -> list[Request]:
+    return [Request(client, i + 1, payload) for i, payload in enumerate(payloads)]
+
+
+def leaves_of(requests) -> list[bytes]:
+    return digest_many([request.digestible() for request in requests])
+
+
+payload_lists = st.lists(st.text(max_size=24), min_size=1, max_size=8)
+
+
+class TestBatchMembership:
+    @given(payload_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_untampered_batch_verifies(self, payloads):
+        issuer, verifier = make_pair()
+        leaves = leaves_of(requests_from(payloads))
+        cert = issuer.create_independent_batch(0, 1, HEADER, leaves)
+        assert verifier.verify_batch(cert, HEADER, leaves)
+
+    @given(payload_lists, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_mutating_any_member_rejected(self, payloads, data):
+        issuer, verifier = make_pair()
+        requests = requests_from(payloads)
+        cert = issuer.create_independent_batch(0, 1, HEADER, leaves_of(requests))
+        index = data.draw(st.integers(0, len(requests) - 1), label="victim")
+        victim = requests[index]
+        mutated = Request(victim.client_id, victim.request_id, str(victim.operation) + "!")
+        tampered = list(requests)
+        tampered[index] = mutated
+        assert not verifier.verify_batch(cert, HEADER, leaves_of(tampered))
+
+    @given(st.lists(st.text(max_size=24), min_size=2, max_size=8, unique=True),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_reordering_members_rejected(self, payloads, rng):
+        issuer, verifier = make_pair()
+        requests = requests_from(payloads)
+        cert = issuer.create_independent_batch(0, 1, HEADER, leaves_of(requests))
+        shuffled = list(requests)
+        while shuffled == requests:
+            rng.shuffle(shuffled)
+        assert not verifier.verify_batch(cert, HEADER, leaves_of(shuffled))
+
+    @given(payload_lists, payload_lists, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_splicing_between_certified_batches_rejected(self, first, second, data):
+        """Swap a member between two honestly certified batches: both die."""
+        issuer, verifier = make_pair()
+        batch_a = requests_from(first, client="clients:c0")
+        batch_b = requests_from(second, client="clients:c1")
+        cert_a = issuer.create_independent_batch(0, 1, HEADER, leaves_of(batch_a))
+        cert_b = issuer.create_independent_batch(0, 2, HEADER, leaves_of(batch_b))
+        i = data.draw(st.integers(0, len(batch_a) - 1), label="from_a")
+        j = data.draw(st.integers(0, len(batch_b) - 1), label="into_b")
+        spliced = list(batch_b)
+        spliced[j] = batch_a[i]
+        if leaves_of(spliced) != leaves_of(batch_b):  # identical members splice to a no-op
+            assert not verifier.verify_batch(cert_b, HEADER, leaves_of(spliced))
+        # and the certificate is not transferable to the donor batch either
+        if leaves_of(batch_a) != leaves_of(batch_b):
+            assert not verifier.verify_batch(cert_a, HEADER, leaves_of(batch_b))
+
+    @given(payload_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_header_is_bound(self, payloads):
+        """The same batch under a different proposal header does not verify."""
+        issuer, verifier = make_pair()
+        leaves = leaves_of(requests_from(payloads))
+        cert = issuer.create_independent_batch(0, 1, HEADER, leaves)
+        other_header = ("prepare-header", 0, 8, "r0", False)
+        assert not verifier.verify_batch(cert, other_header, leaves)
+
+    @given(payload_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_batch_certificate_is_not_a_plain_certificate(self, payloads):
+        """Domain separation: a batch certificate must fail plain verify."""
+        issuer, verifier = make_pair()
+        requests = requests_from(payloads)
+        leaves = leaves_of(requests)
+        cert = issuer.create_independent_batch(0, 1, HEADER, leaves)
+        assert not verifier.verify(cert, HEADER)
+        assert not verifier.verify(cert, batch_root(leaves))
+
+
+class TestCounterSemantics:
+    @given(st.lists(st.integers(min_value=1, max_value=10_000),
+                    min_size=1, max_size=6, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_batched_and_scalar_certification_agree_on_monotonicity(self, values):
+        """The batch path drives the counter exactly like the scalar path."""
+        scalar, batched = make_trinx(), make_trinx()
+        leaves = leaves_of(requests_from(["x"]))
+        for value in sorted(values):
+            scalar.create_independent(0, value, ("m", value))
+            batched.create_independent_batch(0, value, ("m", value), leaves)
+        assert scalar.current_value(0) == batched.current_value(0)
+        lowest = sorted(values)[0]
+        with pytest.raises(CounterRegressionError):
+            scalar.create_independent(0, lowest, ("m", lowest))
+        with pytest.raises(CounterRegressionError):
+            batched.create_independent_batch(0, lowest, ("m", lowest), leaves)
+
+    def test_equivocation_impossible_for_batches(self):
+        trinx = make_trinx()
+        leaves = leaves_of(requests_from(["a"]))
+        trinx.create_independent_batch(0, 5, HEADER, leaves)
+        with pytest.raises(CounterRegressionError):
+            trinx.create_independent_batch(0, 5, HEADER, leaves_of(requests_from(["b"])))
+
+    @given(payload_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_certificate_shape_matches_independent(self, payloads):
+        """Batch certificates reuse the independent-certificate wire shape."""
+        issuer = make_trinx()
+        cert = issuer.create_independent_batch(0, 1, HEADER, leaves_of(requests_from(payloads)))
+        assert isinstance(cert, CounterCertificate)
+        assert cert.previous_value is None
+        assert cert.counter == 0 and cert.new_value == 1
+
+
+class TestVectorizedCrypto:
+    @given(payload_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_digest_many_matches_scalar_digests(self, payloads):
+        items = [request.digestible() for request in requests_from(payloads)]
+        import hashlib
+
+        from repro.crypto.digests import canonical_bytes
+
+        expected = [hashlib.sha256(canonical_bytes(item)).digest() for item in items]
+        assert digest_many(items) == expected
+
+    @given(st.binary(min_size=1, max_size=32), payload_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_compute_mac_many_matches_scalar_macs(self, key, payloads):
+        items = [request.digestible() for request in requests_from(payloads)]
+        assert compute_mac_many(key, items) == [compute_mac(key, item) for item in items]
+
+    @given(st.integers(min_value=0, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_enclave_charge_scales_with_batch_size(self, n):
+        assert batch_size_hint(n) == 32 + 32 * n
+
+
+class TestBatchRoot:
+    @given(st.lists(st.binary(min_size=32, max_size=32), max_size=8),
+           st.lists(st.binary(min_size=32, max_size=32), max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_root_injective_on_observed_inputs(self, a, b):
+        if a != b:
+            assert batch_root(a) != batch_root(b)
+        else:
+            assert batch_root(a) == batch_root(b)
+
+    def test_length_prefix_prevents_boundary_shifts(self):
+        """[x] + [] and [] + [x] style extensions hash differently."""
+        x, y = b"\x01" * 32, b"\x02" * 32
+        assert batch_root([x, y]) != batch_root([y, x])
+        assert batch_root([x]) != batch_root([x, x])

@@ -19,8 +19,9 @@ from repro.messages.checkpointing import Checkpoint
 from repro.messages.ordering import Commit, Prepare
 from repro.messages.client import Request
 from repro.messages.viewchange import ViewChange
+from repro.crypto.mac import digest_many
 from repro.trinx.enclave import EnclavePlatform
-from repro.trinx.trinx import TrInX
+from repro.trinx.trinx import TrInX, batch_root
 from tests.conftest import Harness
 
 CONFIG = ReplicaGroupConfig(
@@ -46,8 +47,11 @@ def evil_trinx(replica_id: str) -> TrInX:
 def make_prepare(trinx: TrInX, view: int, order: int, payload="x", leader="r0") -> Prepare:
     request = Request("clients:c9", order, payload)
     bare = Prepare(view, order, (request,), leader)
-    cert = trinx.create_independent(0, flatten(view, order), bare.digestible())
-    return replace(bare, certificate=cert)
+    leaves = digest_many([request.digestible()])
+    cert = trinx.create_independent_batch(
+        0, flatten(view, order), bare.certified_digestible(), leaves
+    )
+    return replace(bare, certificate=cert, batch_digest=batch_root(leaves))
 
 
 class TestEquivocationPrevention:
@@ -61,9 +65,14 @@ class TestEquivocationPrevention:
         harness, pillar = make_pillar()
         trinx = evil_trinx("r0")
         good = make_prepare(trinx, 0, 5, payload="A")
-        # splice the valid certificate onto a different proposal
+        # splice the valid certificate onto a different proposal, with the
+        # batch digest honestly recomputed — the certified root still differs
         evil_request = Request("clients:c9", 5, "B")
-        forged = Prepare(0, 5, (evil_request,), "r0", certificate=good.certificate)
+        forged = Prepare(
+            0, 5, (evil_request,), "r0",
+            certificate=good.certificate,
+            batch_digest=batch_root(digest_many([evil_request.digestible()])),
+        )
         assert pillar._verify_prepare(good)
         assert not pillar._verify_prepare(forged)
 
@@ -72,7 +81,10 @@ class TestEquivocationPrevention:
         trinx = evil_trinx("r0")
         # certified for order 6 but claiming order 5
         other = make_prepare(trinx, 0, 6)
-        forged = Prepare(0, 5, other.batch, "r0", certificate=other.certificate)
+        forged = Prepare(
+            0, 5, other.batch, "r0",
+            certificate=other.certificate, batch_digest=other.batch_digest,
+        )
         assert not pillar._verify_prepare(forged)
 
     def test_follower_rejects_prepare_from_non_proposer(self):
@@ -221,8 +233,12 @@ class TestEndToEndByzantine:
         attacker_endpoint_prepares = []
         for order in range(1, 6):
             good = make_prepare(evil, 0, order, payload="legit")
-            forged = Prepare(0, order, (Request("clients:c9", order, "evil"),), "r0",
-                             certificate=good.certificate)
+            evil_request = Request("clients:c9", order, "evil")
+            forged = replace(
+                good,
+                batch=(evil_request,),
+                batch_digest=batch_root(digest_many([evil_request.digestible()])),
+            )
             attacker_endpoint_prepares.append(forged)
 
         def inject():

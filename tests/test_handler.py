@@ -66,12 +66,18 @@ class TestIngress:
         assert len(orders(pillars[0])) + len(orders(pillars[1])) == 1
         assert handler.duplicates_dropped == 1
 
-    def test_burst_unpacked(self):
+    def test_burst_grouped_per_pillar(self):
+        # a burst becomes ONE OrderRequest per pillar, not one per request,
+        # so a proposer can fill a whole batch from a single window refill
         sim, handler, pillars, _ = build_handler()
         burst = RequestBurst(tuple(request(i) for i in range(3)))
         handler._enqueue(("cl", "c0"), burst)
         sim.run()
-        assert len(orders(pillars[0])) + len(orders(pillars[1])) == 3
+        assert len(orders(pillars[0])) == 1 and len(orders(pillars[1])) == 1
+        delivered = [
+            r for pillar in pillars for m in orders(pillar) for r in m.requests
+        ]
+        assert sorted(r.request_id for r in delivered) == [0, 1, 2]
 
     def test_executed_requests_served_from_cache(self):
         sim, handler, pillars, _ = build_handler()

@@ -10,7 +10,8 @@ from repro.errors import (
 from repro.trinx.certificates import CounterCertificate
 from repro.trinx.enclave import EnclavePlatform
 from repro.trinx.multi import MultiTrInX
-from repro.trinx.trinx import TrInX
+from repro.trinx.trinx import TrInX, batch_size_hint
+from repro.crypto.mac import digest_many
 
 SECRET = b"group-secret-000000000000000000!"
 
@@ -284,3 +285,24 @@ class TestMultiTrInX:
         multi.instance(0).create_independent(0, 1, "m", size_hint=32)
         solo_cost = platform.enter_call_cost_ns(32)
         assert charged[0] == solo_cost + multi.contention_ns
+
+    def test_batch_certification_through_shared_enclave(self):
+        # sub-instances inherit the full TrInX surface, batching included
+        platform = EnclavePlatform()
+        multi = MultiTrInX(platform, "m0/shared", SECRET, num_instances=2)
+        solo = TrInX(platform, "r1/tss0", SECRET)
+        leaves = digest_many(["a", "b", "c"])
+        cert = multi.instance(0).create_independent_batch(0, 7, "header", leaves)
+        assert solo.verify_batch(cert, "header", leaves)
+        assert not solo.verify_batch(cert, "header", digest_many(["a", "x", "c"]))
+        assert multi.instance(0).current_value(0) == 7
+
+    def test_batch_calls_pay_the_contention_surcharge(self):
+        charged = []
+        platform = EnclavePlatform(charge=charged.append)
+        multi = MultiTrInX(platform, "e", SECRET, num_instances=8, sharing_threads=8)
+        leaves = digest_many(["a", "b", "c"])
+        multi.instance(0).create_independent_batch(0, 1, "h", leaves)
+        # charged for header + leaves only (not the batch body), plus contention
+        expected = platform.enter_call_cost_ns(batch_size_hint(len(leaves)))
+        assert charged[0] == expected + multi.contention_ns

@@ -70,6 +70,27 @@ def test_certificate_attachment_costs_similar_bytes():
     assert 0.5 <= encoded_delta / accounted_delta <= 1.25
 
 
+def test_batch_digest_costs_32_bytes_in_both_models():
+    codec = default_codec()
+    cert = CounterCertificate("r0:t0", 3, 7, None, b"\xab" * 16)
+    bare = Prepare(1, 42, (), "r1", cert, False)
+    batched = Prepare(1, 42, (), "r1", cert, False, batch_digest=b"\xcd" * 32)
+    assert batched.wire_size() - bare.wire_size() == 32
+    encoded_delta = codec.encoded_size(batched) - codec.encoded_size(bare)
+    # 32 digest bytes plus the varint length prefix of the bytes field
+    assert 32 <= encoded_delta <= 32 + 3
+
+
+def test_batched_prepare_stays_in_the_tolerance_band():
+    cert = CounterCertificate("r0:t0", 3, 7, None, b"\xab" * 32)
+    requests = tuple(
+        Request("clients0:c0", n, ("noop",), 0, b"\x11" * 32) for n in range(16)
+    )
+    prepare = Prepare(1, 42, requests, "r1", cert, False, batch_digest=b"\xcd" * 32)
+    delta = default_codec().audit(prepare)
+    assert 0.5 <= delta.ratio <= 1.25, str(delta)
+
+
 @pytest.mark.parametrize("message", SIZED_SAMPLES, ids=lambda m: type(m).__name__)
 def test_encoded_size_tracks_accounting(message):
     delta = default_codec().audit(message)
